@@ -1,0 +1,109 @@
+"""Figure 25: several database servers sharing one memory server's RAM.
+
+Each DB server runs RangeScan with a small local pool and a BPExt
+leased from the single provider.  Aggregate throughput scales with the
+number of DB servers until the provider's NIC saturates; after that
+latency climbs without much aggregate gain.
+"""
+
+from repro.broker import MemoryBroker, MemoryProxy
+from repro.cluster import Cluster
+from repro.engine import Database, RemotePageFile
+from repro.engine.bufferpool import BufferPoolExtension
+from repro.harness import format_table
+from repro.net import Network
+from repro.remotefile import RemoteMemoryFilesystem, StagingPool
+from repro.storage import GB, MB, Raid0Array
+from repro.workloads import RangeScanConfig, build_customer_table
+from repro.workloads.rangescan import launch_rangescan
+from repro.sim.kernel import AllOf
+
+N_ROWS = 25_000   # ~6 MB per DB server
+BP_PAGES = 128
+EXT_PAGES = 1280  # covers the table
+
+
+def _build(n_db):
+    cluster = Cluster(seed=12)
+    network = Network(cluster.sim)
+    mem = cluster.add_server("mem0", memory_bytes=384 * GB)
+    network.attach(mem)
+    broker = MemoryBroker(cluster.sim)
+    proxy = MemoryProxy(mem, broker, mr_bytes=32 * MB)
+    cluster.sim.run_until_complete(cluster.sim.spawn(
+        proxy.offer_available(limit_bytes=n_db * 64 * MB + 128 * MB)))
+    databases = []
+    for index in range(n_db):
+        server = cluster.add_server(f"db{index}")
+        network.attach(server)
+        hdd = server.attach_device(
+            "hdd", Raid0Array(cluster.sim, spindles=20,
+                              rng=cluster.rng.stream(f"hdd{index}")))
+        fs = RemoteMemoryFilesystem(server, broker, StagingPool(server))
+
+        def setup(fs=fs, index=index):
+            yield from fs.initialize()
+            file = yield from fs.create(f"ext{index}", EXT_PAGES * 8192)
+            yield from file.open()
+            return file
+
+        file = cluster.sim.run_until_complete(cluster.sim.spawn(setup()))
+        ext = BufferPoolExtension(RemotePageFile(900, file, capacity_pages=EXT_PAGES))
+        database = Database(server, bp_pages=BP_PAGES, data_device=hdd,
+                            bpext_store=None)
+        database.pool.extension = ext
+        table = build_customer_table(database, N_ROWS)
+        databases.append((database, table))
+    return cluster, databases
+
+
+def run_figure25():
+    results = {}
+    rows = []
+    for n_db in (1, 2, 4, 8):
+        cluster, databases = _build(n_db)
+        sim = cluster.sim
+        # Warm every DB server's extension via the workload.
+        warm_cfg = RangeScanConfig(n_rows=N_ROWS, workers=32,
+                                   queries_per_worker=25, seed=5)
+        processes = []
+        for database, table in databases:
+            procs, _fin = launch_rangescan(database, table, warm_cfg,
+                                           rng=cluster.rng.stream("w"))
+            processes.extend(procs)
+        sim.run_until_complete(sim.spawn(_wait(sim, processes)))
+        # Measure all servers concurrently.
+        config = RangeScanConfig(n_rows=N_ROWS, workers=32,
+                                 queries_per_worker=25, seed=6)
+        finalizers = []
+        processes = []
+        for database, table in databases:
+            procs, finalize = launch_rangescan(database, table, config,
+                                               rng=cluster.rng.stream("m"))
+            processes.extend(procs)
+            finalizers.append(finalize)
+        sim.run_until_complete(sim.spawn(_wait(sim, processes)))
+        reports = [finalize() for finalize in finalizers]
+        aggregate = sum(report.throughput_qps for report in reports)
+        latency = sum(r.latency.mean for r in reports) / len(reports) / 1000.0
+        results[n_db] = (aggregate, latency)
+        rows.append([n_db, aggregate, latency])
+    print()
+    print(format_table(
+        ["DB servers", "aggregate queries/sec", "avg latency ms"], rows,
+        title="Figure 25: RangeScan from multiple DB servers on one provider",
+    ))
+    return results
+
+
+def _wait(sim, processes):
+    yield AllOf(sim, processes)
+
+
+def test_fig25_multi_db_rangescan(once):
+    results = once(run_figure25)
+    # Aggregate throughput grows with DB servers before saturation.
+    assert results[2][0] > 1.6 * results[1][0]
+    assert results[4][0] > 2.4 * results[1][0]
+    # Adding servers beyond saturation mostly adds latency.
+    assert results[8][1] > results[1][1]

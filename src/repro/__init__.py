@@ -1,0 +1,22 @@
+"""repro: a discrete-event-simulation reproduction of
+"Accelerating Relational Databases by Leveraging Remote Memory and RDMA"
+(Li, Das, Syamala, Narasayya — SIGMOD 2016).
+
+Subpackages
+-----------
+sim         discrete-event kernel, CPU model, measurement collectors
+cluster     servers and clusters
+storage     HDD / RAID-0 / SSD / RAM device models
+net         Infiniband fabric, RDMA verbs, TCP, SMB / SMB Direct
+broker      cluster memory broker: proxies, timed leases, metadata
+remotefile  the lightweight file API over leased remote memory (Table 2)
+engine      the SMP RDBMS: buffer pool + BPExt, B-trees, WAL, TempDB,
+            operators, grants, optimizer, semantic cache, priming, loader
+workloads   SQLIO, RangeScan, Hash+Sort, TPC-H/DS/C-like generators
+harness     the Table-5 design alternatives and experiment builders
+"""
+
+from .cluster import Cluster, Server
+
+__version__ = "1.0.0"
+__all__ = ["Cluster", "Server", "__version__"]

@@ -1,0 +1,18 @@
+"""Cluster memory brokering: proxies, leases, broker, metadata store."""
+
+from .broker import BrokerError, InsufficientMemory, MemoryBroker
+from .lease import Lease, LeaseState
+from .metadata import CasConflict, MetadataStore
+from .proxy import DEFAULT_MR_BYTES, MemoryProxy
+
+__all__ = [
+    "BrokerError",
+    "CasConflict",
+    "DEFAULT_MR_BYTES",
+    "InsufficientMemory",
+    "Lease",
+    "LeaseState",
+    "MemoryBroker",
+    "MemoryProxy",
+    "MetadataStore",
+]

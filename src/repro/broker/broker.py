@@ -1,0 +1,213 @@
+"""The cluster memory broker.
+
+Design mirrors Section 4.2: every memory server runs a proxy that pins
+and NIC-registers its unused memory as fixed-size memory regions (MRs)
+and reports them to the broker.  A database server with unmet memory
+demand asks the broker for leases; the broker picks providers, records
+the mapping in the replicated metadata store, and gets out of the data
+path — transfers then flow directly between the two servers' NICs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Optional
+
+from ..net.rdma import MemoryRegion
+from ..sim import Simulator
+from ..sim.kernel import ProcessGenerator
+from .lease import Lease, LeaseState
+from .metadata import MetadataStore
+
+__all__ = ["MemoryBroker", "BrokerError", "InsufficientMemory"]
+
+
+class BrokerError(RuntimeError):
+    pass
+
+
+class InsufficientMemory(BrokerError):
+    """Not enough unleased remote memory in the cluster."""
+
+
+class MemoryBroker:
+    """Tracks available MRs and grants timed, exclusive leases on them."""
+
+    #: Default lease duration (30 simulated seconds).
+    DEFAULT_LEASE_US = 30e6
+
+    def __init__(
+        self,
+        sim: Simulator,
+        store: MetadataStore | None = None,
+        lease_duration_us: float = DEFAULT_LEASE_US,
+    ):
+        self.sim = sim
+        self.store = store if store is not None else MetadataStore(sim)
+        self.lease_duration_us = lease_duration_us
+        # Available (unleased) regions per provider server, FIFO.
+        self._available: dict[str, deque[MemoryRegion]] = {}
+        self._leases: dict[int, Lease] = {}
+        #: Callbacks fired when a lease is revoked: holder name -> fn(lease).
+        self.revocation_listeners: dict[str, Callable[[Lease], None]] = {}
+
+    # -- provider side ----------------------------------------------------
+
+    def register_region(self, region: MemoryRegion) -> ProcessGenerator:
+        """A memory proxy offers a pinned, registered MR to the cluster."""
+        if not region.registered:
+            raise BrokerError("only NIC-registered regions can be brokered")
+        self._available.setdefault(region.server.name, deque()).append(region)
+        yield from self.store.put(
+            f"regions/{region.server.name}/{region.mr_id}", region.size
+        )
+        return region
+
+    def withdraw_region(self, provider: str) -> ProcessGenerator:
+        """Remove one unleased MR of ``provider`` (local memory pressure).
+
+        Returns the region, or ``None`` if every MR of the provider is
+        currently leased — in that case the proxy may escalate with
+        :meth:`revoke_one`.
+        """
+        queue = self._available.get(provider)
+        if not queue:
+            return None
+        region = queue.pop()
+        yield from self.store.delete(f"regions/{provider}/{region.mr_id}")
+        return region
+
+    def revoke_one(self, provider: str) -> ProcessGenerator:
+        """Forcibly revoke the oldest lease on ``provider`` (pressure path)."""
+        victim: Optional[Lease] = None
+        for lease in self._leases.values():
+            if lease.provider == provider and lease.state is LeaseState.ACTIVE:
+                if victim is None or lease.expires_at_us < victim.expires_at_us:
+                    victim = lease
+        if victim is None:
+            return None
+        yield from self._terminate(victim, LeaseState.REVOKED)
+        return victim
+
+    # -- consumer side ----------------------------------------------------
+
+    def available_bytes(self, provider: str | None = None) -> int:
+        if provider is not None:
+            return sum(r.size for r in self._available.get(provider, ()))
+        return sum(r.size for q in self._available.values() for r in q)
+
+    def acquire(
+        self,
+        holder: str,
+        bytes_needed: int,
+        providers: Iterable[str] | None = None,
+        spread: bool = False,
+    ) -> ProcessGenerator:
+        """Lease MRs totalling at least ``bytes_needed``.
+
+        ``providers`` restricts the candidate memory servers; ``spread``
+        round-robins across providers instead of draining one at a time
+        (used by the multi-memory-server experiments, Figures 5 and 12b).
+        """
+        candidates = list(providers) if providers is not None else sorted(self._available)
+        candidates = [c for c in candidates if self._available.get(c)]
+        if self.available_bytes() < bytes_needed or not candidates:
+            if sum(self.available_bytes(c) for c in candidates) < bytes_needed:
+                raise InsufficientMemory(
+                    f"{holder} wants {bytes_needed} bytes; cluster has "
+                    f"{self.available_bytes()} available"
+                )
+        leases: list[Lease] = []
+        granted = 0
+        cursor = 0
+        while granted < bytes_needed:
+            if spread:
+                tried = 0
+                while tried < len(candidates) and not self._available.get(
+                    candidates[cursor % len(candidates)]
+                ):
+                    cursor += 1
+                    tried += 1
+                provider = candidates[cursor % len(candidates)]
+                cursor += 1
+            else:
+                provider = next((c for c in candidates if self._available.get(c)), None)
+            if provider is None or not self._available.get(provider):
+                # Give back what we took: all-or-nothing semantics.
+                for lease in leases:
+                    yield from self._terminate(lease, LeaseState.RELEASED)
+                raise InsufficientMemory(
+                    f"{holder}: ran out of providers at {granted}/{bytes_needed} bytes"
+                )
+            region = self._available[provider].popleft()
+            lease = Lease(
+                region=region,
+                holder=holder,
+                expires_at_us=self.sim.now + self.lease_duration_us,
+                duration_us=self.lease_duration_us,
+            )
+            self._leases[lease.lease_id] = lease
+            yield from self.store.put(
+                f"leases/{lease.lease_id}",
+                {"holder": holder, "provider": provider, "size": region.size},
+            )
+            leases.append(lease)
+            granted += region.size
+        return leases
+
+    def renew(self, lease: Lease) -> ProcessGenerator:
+        """Extend the lease; returns False if it can no longer be renewed."""
+        if lease.state is not LeaseState.ACTIVE or self.sim.now >= lease.expires_at_us:
+            self._expire_if_needed(lease)
+            return False
+        yield from self.store.put(f"leases/{lease.lease_id}", {"renewed_at": self.sim.now})
+        lease.expires_at_us = self.sim.now + lease.duration_us
+        return True
+
+    def release(self, lease: Lease) -> ProcessGenerator:
+        """Voluntary release: the MR returns to the available pool."""
+        if lease.state is LeaseState.ACTIVE:
+            yield from self._terminate(lease, LeaseState.RELEASED)
+
+    def check_expiry(self) -> list[Lease]:
+        """Mark overdue leases expired; returns the newly-expired ones."""
+        expired = []
+        for lease in list(self._leases.values()):
+            if lease.state is LeaseState.ACTIVE and self.sim.now >= lease.expires_at_us:
+                self._expire_if_needed(lease)
+                expired.append(lease)
+        return expired
+
+    def expiry_daemon(self, period_us: float = 1e6) -> ProcessGenerator:
+        """Spawn with ``sim.spawn`` to sweep for expired leases."""
+        while True:
+            yield self.sim.timeout(period_us)
+            self.check_expiry()
+
+    # -- internals ---------------------------------------------------------
+
+    def _expire_if_needed(self, lease: Lease) -> None:
+        if lease.state is LeaseState.ACTIVE and self.sim.now >= lease.expires_at_us:
+            lease.state = LeaseState.EXPIRED
+            lease.region.clear()
+            self._available.setdefault(lease.provider, deque()).append(lease.region)
+            del self._leases[lease.lease_id]
+            self._notify(lease)
+
+    def _terminate(self, lease: Lease, state: LeaseState) -> ProcessGenerator:
+        lease.state = state
+        lease.region.clear()
+        self._available.setdefault(lease.provider, deque()).append(lease.region)
+        self._leases.pop(lease.lease_id, None)
+        yield from self.store.delete(f"leases/{lease.lease_id}")
+        if state is LeaseState.REVOKED:
+            self._notify(lease)
+
+    def _notify(self, lease: Lease) -> None:
+        listener = self.revocation_listeners.get(lease.holder)
+        if listener is not None:
+            listener(lease)
+
+    @property
+    def active_leases(self) -> list[Lease]:
+        return [l for l in self._leases.values() if l.state is LeaseState.ACTIVE]

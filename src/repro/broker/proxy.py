@@ -1,0 +1,92 @@
+"""Memory brokering proxy: runs on every server with spare memory.
+
+The proxy (Section 4.2, Figure 1):
+
+* determines memory not committed to local processes,
+* carves it into fixed-size MRs, pins them, registers them with the
+  local NIC and reports them to the broker,
+* subscribes to OS memory-pressure notifications, and on pressure
+  withdraws MRs from the broker (forcing lease revocation if every MR
+  is leased) so local processes are never paged out.
+"""
+
+from __future__ import annotations
+
+from ..cluster import Server
+from ..net.rdma import MemoryRegion, RdmaRegistrar
+from ..sim.kernel import ProcessGenerator
+from ..storage import MB
+from .broker import MemoryBroker
+
+__all__ = ["MemoryProxy", "DEFAULT_MR_BYTES"]
+
+#: Fixed MR granularity ("configurable fixed-sized memory regions").
+DEFAULT_MR_BYTES = 16 * MB
+
+
+class MemoryProxy:
+    """One server's brokering agent."""
+
+    def __init__(
+        self,
+        server: Server,
+        broker: MemoryBroker,
+        mr_bytes: int = DEFAULT_MR_BYTES,
+        reserve_bytes: int = 0,
+    ):
+        self.server = server
+        self.broker = broker
+        self.mr_bytes = mr_bytes
+        #: Memory the proxy never offers (headroom for local spikes).
+        self.reserve_bytes = reserve_bytes
+        self.registrar = RdmaRegistrar(server)
+        self.offered: list[MemoryRegion] = []
+
+    @property
+    def offered_bytes(self) -> int:
+        return sum(region.size for region in self.offered)
+
+    def offer_available(self, limit_bytes: int | None = None) -> ProcessGenerator:
+        """Pin, register and broker all (or up to ``limit_bytes``) spare memory."""
+        spare = self.server.memory_available - self.reserve_bytes
+        if limit_bytes is not None:
+            spare = min(spare, limit_bytes)
+        count = spare // self.mr_bytes
+        regions = []
+        for _ in range(int(count)):
+            region = yield from self.registrar.register(self.mr_bytes)
+            yield from self.broker.register_region(region)
+            self.offered.append(region)
+            regions.append(region)
+        return regions
+
+    def handle_memory_pressure(self, bytes_needed: int) -> ProcessGenerator:
+        """OS pressure notification: withdraw MRs until demand is met.
+
+        Prefers unleased MRs; revokes leases only if necessary.  Returns
+        the number of bytes returned to the OS.
+        """
+        reclaimed = 0
+        while reclaimed < bytes_needed and self.offered:
+            region = yield from self.broker.withdraw_region(self.server.name)
+            if region is None:
+                lease = yield from self.broker.revoke_one(self.server.name)
+                if lease is None:
+                    break
+                region = yield from self.broker.withdraw_region(self.server.name)
+                if region is None:
+                    break
+            yield from self.registrar.deregister(region)
+            self.offered.remove(region)
+            reclaimed += region.size
+        return reclaimed
+
+    def pressure_monitor(
+        self, period_us: float = 1e6, watermark_bytes: int = 0
+    ) -> ProcessGenerator:
+        """Daemon: keep at least ``watermark_bytes`` free for local use."""
+        while True:
+            yield self.server.sim.timeout(period_us)
+            shortfall = watermark_bytes - self.server.memory_available
+            if shortfall > 0:
+                yield from self.handle_memory_pressure(shortfall)

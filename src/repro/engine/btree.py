@@ -1,0 +1,352 @@
+"""Page-based B-tree.
+
+Every node is an 8K :class:`~repro.engine.page.Page` living in the
+table's file, accessed through the buffer pool — so index traversals
+exercise exactly the memory-hierarchy path the paper studies: hot upper
+levels stay in the local pool, cold leaves fall to BPExt (remote memory
+or SSD) or the data file on the HDD array.
+
+Used both as a clustered index (leaf rows are full table rows) and as a
+secondary index (leaf rows are ``(key, primary_key)`` pairs).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Iterable, Optional
+
+from ..sim.kernel import ProcessGenerator
+from .bufferpool import BufferPool
+from .errors import EngineError
+from .files import PageStore
+from .page import Page, PageKind
+
+__all__ = ["BTree"]
+
+#: Fanout of internal nodes (separator key + child pointer = 16 bytes,
+#: 8 KB page => ~500; kept lower to model header/slot overheads).
+INTERNAL_FANOUT = 256
+#: CPU cost of a binary search / leaf scan step.
+NODE_SEARCH_CPU_US = 0.6
+
+
+class BTree:
+    """B-tree over (key-sorted) rows with page-granular storage."""
+
+    def __init__(
+        self,
+        name: str,
+        pool: BufferPool,
+        store: PageStore,
+        key_fn: Callable[[tuple], Any],
+        leaf_capacity: int,
+    ):
+        if leaf_capacity < 2:
+            raise EngineError("leaf capacity must be at least 2")
+        self.name = name
+        self.pool = pool
+        self.store = store
+        self.key_fn = key_fn
+        self.leaf_capacity = leaf_capacity
+        self.root_page_no: Optional[int] = None
+        self.height = 0
+        self.leaf_count = 0
+        self._next_page_no = 0
+        # Writer latch: concurrent structural changes (splits) interleave
+        # across simulation yields and would corrupt the tree; readers
+        # proceed latch-free as in real engines' optimistic descent.
+        self._write_latch = self.pool.server.sim.resource(1, name=f"{name}.wlatch")
+
+    # -- construction ------------------------------------------------------
+
+    def _new_page_no(self) -> int:
+        page_no = self._next_page_no
+        self._next_page_no += 1
+        return page_no
+
+    def bulk_build(self, rows: Iterable[tuple]) -> None:
+        """Build bottom-up from rows already sorted by key.
+
+        Pages are written straight into the store (initial load happens
+        before measurement windows, so no simulated I/O is charged —
+        experiments that care about load cost use the loader module).
+        """
+        ordered = list(rows)
+        for earlier, later in zip(ordered, ordered[1:]):
+            if self.key_fn(earlier) > self.key_fn(later):
+                raise EngineError("bulk_build requires key-sorted rows")
+        file_id = self.store.file_id
+        leaves: list[Page] = []
+        for start in range(0, len(ordered), self.leaf_capacity):
+            chunk = ordered[start : start + self.leaf_capacity]
+            page = Page(
+                page_id=(file_id, self._new_page_no()),
+                kind=PageKind.BTREE_LEAF,
+                rows=list(chunk),
+                meta={"next": None},
+            )
+            leaves.append(page)
+        if not leaves:
+            root = Page(
+                page_id=(file_id, self._new_page_no()),
+                kind=PageKind.BTREE_LEAF,
+                rows=[],
+                meta={"next": None},
+            )
+            leaves.append(root)
+        for left, right in zip(leaves, leaves[1:]):
+            left.meta["next"] = right.page_no
+        self.leaf_count = len(leaves)
+        # Build internal levels bottom-up; track the low key of every
+        # node so parents get correct separator keys.
+        def low_key(page: Page) -> Any:
+            if page.kind is PageKind.BTREE_LEAF:
+                return self.key_fn(page.rows[0]) if page.rows else None
+            return page.meta["low_key"]
+
+        internals: list[Page] = []
+        level = leaves
+        self.height = 1
+        while len(level) > 1:
+            parents: list[Page] = []
+            for start in range(0, len(level), INTERNAL_FANOUT):
+                children = level[start : start + INTERNAL_FANOUT]
+                parent = Page(
+                    page_id=(file_id, self._new_page_no()),
+                    kind=PageKind.BTREE_INTERNAL,
+                    rows=[],
+                    meta={
+                        "keys": [low_key(child) for child in children[1:]],
+                        "children": [child.page_no for child in children],
+                        "low_key": low_key(children[0]),
+                    },
+                )
+                parents.append(parent)
+            internals.extend(parents)
+            level = parents
+            self.height += 1
+        self.root_page_no = level[0].page_no
+        if not hasattr(self.store, "preload"):
+            raise EngineError("bulk_build requires a preloadable store")
+        self.store.preload(leaves + internals)
+
+    # -- traversal -------------------------------------------------------------
+
+    def _descend(self, key: Any) -> ProcessGenerator:
+        """Walk root -> leftmost leaf that can contain ``key``.
+
+        Uses ``bisect_left`` so duplicate keys spanning several leaves
+        are all reachable by following ``next`` pointers from here.
+        """
+        if self.root_page_no is None:
+            raise EngineError(f"index {self.name} is empty/unbuilt")
+        page = yield from self.pool.get_page(self.store.file_id, self.root_page_no)
+        while page.kind is PageKind.BTREE_INTERNAL:
+            yield from self.pool.server.cpu.compute(NODE_SEARCH_CPU_US)
+            keys = page.meta["keys"]
+            child_index = bisect.bisect_left(keys, key)
+            child_no = page.meta["children"][child_index]
+            page = yield from self.pool.get_page(self.store.file_id, child_no)
+        yield from self.pool.server.cpu.compute(NODE_SEARCH_CPU_US)
+        return page
+
+    def search(self, key: Any) -> ProcessGenerator:
+        """Point lookup: all rows with exactly ``key`` (across leaves)."""
+        leaf = yield from self._descend(key)
+        result: list[tuple] = []
+        while leaf is not None:
+            exhausted = False
+            for row in leaf.rows:
+                row_key = self.key_fn(row)
+                if row_key == key:
+                    result.append(row)
+                elif row_key > key:
+                    exhausted = True
+                    break
+            if exhausted:
+                break
+            next_no = leaf.meta.get("next")
+            if next_no is None:
+                break
+            leaf = yield from self.pool.get_page(self.store.file_id, next_no)
+        return result
+
+    def range_scan(self, low: Any, high: Any, limit: Optional[int] = None) -> ProcessGenerator:
+        """All rows with ``low <= key < high`` (optionally first ``limit``)."""
+        leaf = yield from self._descend(low)
+        result: list[tuple] = []
+        while leaf is not None:
+            keys = [self.key_fn(row) for row in leaf.rows]
+            start = bisect.bisect_left(keys, low)
+            for row in leaf.rows[start:]:
+                key = self.key_fn(row)
+                if key >= high:
+                    return result
+                result.append(row)
+                if limit is not None and len(result) >= limit:
+                    return result
+            next_no = leaf.meta.get("next")
+            if next_no is None:
+                break
+            leaf = yield from self.pool.get_page(self.store.file_id, next_no)
+        return result
+
+    def leaf_page_numbers(self) -> ProcessGenerator:
+        """Page numbers of every leaf, left to right (no pool churn)."""
+        if self.root_page_no is None:
+            return []
+        page = yield from self.pool.get_page(self.store.file_id, self.root_page_no)
+        while page.kind is PageKind.BTREE_INTERNAL:
+            first_child = page.meta["children"][0]
+            page = yield from self.pool.get_page(self.store.file_id, first_child)
+        numbers = []
+        while page is not None:
+            numbers.append(page.page_no)
+            next_no = page.meta.get("next")
+            if next_no is None:
+                break
+            page = yield from self.pool.get_page(self.store.file_id, next_no)
+        return numbers
+
+    # -- mutation ----------------------------------------------------------------
+
+    def update_where(self, key: Any, mutate: Callable[[tuple], tuple], lsn: int = 0) -> ProcessGenerator:
+        """Replace every row with ``key`` by ``mutate(row)``; returns count."""
+        leaf = yield from self._descend(key)
+        changed = 0
+        while leaf is not None:
+            leaf_changed = 0
+            exhausted = False
+            new_rows = []
+            for row in leaf.rows:
+                row_key = self.key_fn(row)
+                if row_key == key:
+                    new_rows.append(mutate(row))
+                    leaf_changed += 1
+                else:
+                    new_rows.append(row)
+                    if row_key > key:
+                        exhausted = True
+            if leaf_changed:
+                leaf.rows[:] = new_rows
+                yield from self.pool.mark_dirty(leaf, lsn=lsn)
+                changed += leaf_changed
+            if exhausted:
+                break
+            next_no = leaf.meta.get("next")
+            if next_no is None:
+                break
+            leaf = yield from self.pool.get_page(self.store.file_id, next_no)
+        return changed
+
+    def insert(self, row: tuple, lsn: int = 0) -> ProcessGenerator:
+        """Insert one row, splitting leaves (and parents) as needed."""
+        key = self.key_fn(row)
+        yield self._write_latch.request()
+        try:
+            path = yield from self._descend_with_path(key)
+            leaf = path[-1]
+            keys = [self.key_fn(r) for r in leaf.rows]
+            position = bisect.bisect_right(keys, key)
+            leaf.rows.insert(position, row)
+            yield from self.pool.mark_dirty(leaf, lsn=lsn)
+            if len(leaf.rows) > self.leaf_capacity:
+                yield from self._split(path, lsn)
+        finally:
+            self._write_latch.release()
+
+    def delete(self, key: Any, lsn: int = 0) -> ProcessGenerator:
+        """Delete all rows with ``key`` (no rebalancing, like many engines)."""
+        yield self._write_latch.request()
+        try:
+            removed = yield from self._delete_locked(key, lsn)
+        finally:
+            self._write_latch.release()
+        return removed
+
+    def _delete_locked(self, key: Any, lsn: int) -> ProcessGenerator:
+        leaf = yield from self._descend(key)
+        removed = 0
+        while leaf is not None:
+            before = len(leaf.rows)
+            exhausted = any(self.key_fn(row) > key for row in leaf.rows)
+            leaf.rows[:] = [row for row in leaf.rows if self.key_fn(row) != key]
+            if len(leaf.rows) != before:
+                yield from self.pool.mark_dirty(leaf, lsn=lsn)
+                removed += before - len(leaf.rows)
+            if exhausted:
+                break
+            next_no = leaf.meta.get("next")
+            if next_no is None:
+                break
+            leaf = yield from self.pool.get_page(self.store.file_id, next_no)
+        return removed
+
+    def _descend_with_path(self, key: Any) -> ProcessGenerator:
+        if self.root_page_no is None:
+            raise EngineError(f"index {self.name} is empty/unbuilt")
+        path = []
+        page = yield from self.pool.get_page(self.store.file_id, self.root_page_no)
+        path.append(page)
+        while page.kind is PageKind.BTREE_INTERNAL:
+            yield from self.pool.server.cpu.compute(NODE_SEARCH_CPU_US)
+            child_index = bisect.bisect_right(page.meta["keys"], key)
+            child_no = page.meta["children"][child_index]
+            page = yield from self.pool.get_page(self.store.file_id, child_no)
+            path.append(page)
+        return path
+
+    def _split(self, path: list[Page], lsn: int) -> ProcessGenerator:
+        """Split the overflowing tail node of ``path`` upward."""
+        node = path[-1]
+        parents = path[:-1]
+        while True:
+            if node.kind is PageKind.BTREE_LEAF:
+                mid = len(node.rows) // 2
+                right = Page(
+                    page_id=(self.store.file_id, self._new_page_no()),
+                    kind=PageKind.BTREE_LEAF,
+                    rows=node.rows[mid:],
+                    meta={"next": node.meta.get("next")},
+                )
+                separator = self.key_fn(right.rows[0])
+                node.rows[:] = node.rows[:mid]
+                node.meta["next"] = right.page_no
+                self.leaf_count += 1
+            else:
+                mid = len(node.meta["children"]) // 2
+                separator = node.meta["keys"][mid - 1]
+                right = Page(
+                    page_id=(self.store.file_id, self._new_page_no()),
+                    kind=PageKind.BTREE_INTERNAL,
+                    rows=[],
+                    meta={
+                        "keys": node.meta["keys"][mid:],
+                        "children": node.meta["children"][mid:],
+                    },
+                )
+                node.meta["keys"] = node.meta["keys"][: mid - 1]
+                node.meta["children"] = node.meta["children"][:mid]
+            yield from self.pool.put_page(right, dirty=True)
+            yield from self.pool.mark_dirty(node, lsn=lsn)
+            if parents:
+                parent = parents.pop()
+                child_index = parent.meta["children"].index(node.page_no)
+                parent.meta["keys"].insert(child_index, separator)
+                parent.meta["children"].insert(child_index + 1, right.page_no)
+                yield from self.pool.mark_dirty(parent, lsn=lsn)
+                overflow = len(parent.meta["children"]) > INTERNAL_FANOUT
+                if not overflow:
+                    return
+                node = parent
+            else:
+                new_root = Page(
+                    page_id=(self.store.file_id, self._new_page_no()),
+                    kind=PageKind.BTREE_INTERNAL,
+                    rows=[],
+                    meta={"keys": [separator], "children": [node.page_no, right.page_no]},
+                )
+                yield from self.pool.put_page(new_root, dirty=True)
+                self.root_page_no = new_root.page_no
+                self.height += 1
+                return

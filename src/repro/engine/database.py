@@ -1,0 +1,206 @@
+"""The database engine facade.
+
+A :class:`Database` is one SMP RDBMS instance on one server: buffer pool
+(+ optional extension), write-ahead log, TempDB, workspace-memory grant
+manager, catalog, and the entry points sessions use to run queries and
+DML.  The media behind BPExt/TempDB are injected, which is how the
+harness realizes each Table-5 design alternative.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..cluster import Server
+from ..sim.kernel import ProcessGenerator
+from ..storage import BlockDevice
+from .bufferpool import BufferPool, BufferPoolExtension
+from .btree import BTree
+from .catalog import Catalog, Schema, Table
+from .costs import QUERY_SETUP_CPU_US
+from .errors import EngineError
+from .files import DevicePageFile, PageStore
+from .grants import GrantManager
+from .operators import ExecContext, ExecMetrics, Operator
+from .page import PAGE_SIZE
+from .tempdb import TempDb
+from .wal import LogRecordKind, WriteAheadLog
+
+__all__ = ["Database", "QueryResult"]
+
+#: Secondary-index entry width: key + primary key + row header.
+INDEX_ENTRY_BYTES = 24
+
+
+class QueryResult:
+    """Rows plus execution metadata for one query."""
+
+    def __init__(self, rows: list, metrics: ExecMetrics, elapsed_us: float):
+        self.rows = rows
+        self.metrics = metrics
+        self.elapsed_us = elapsed_us
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Database:
+    """One engine instance bound to one simulated server."""
+
+    def __init__(
+        self,
+        server: Server,
+        bp_pages: int,
+        data_device: BlockDevice,
+        log_device: Optional[BlockDevice] = None,
+        bpext_store: Optional[PageStore] = None,
+        tempdb_store: Optional[PageStore] = None,
+        workspace_bytes: Optional[int] = None,
+        query_setup_cpu_us: float = QUERY_SETUP_CPU_US,
+    ):
+        self.server = server
+        self.sim = server.sim
+        self.catalog = Catalog()
+        self.data_device = data_device
+        extension = BufferPoolExtension(bpext_store) if bpext_store is not None else None
+        self.pool = BufferPool(server, capacity_pages=bp_pages, extension=extension)
+        self.wal = WriteAheadLog(server, log_device if log_device is not None else data_device)
+        self.tempdb = TempDb(tempdb_store) if tempdb_store is not None else None
+        workspace = workspace_bytes if workspace_bytes is not None else bp_pages * PAGE_SIZE
+        self.grants = GrantManager(server, workspace)
+        self.query_setup_cpu_us = query_setup_cpu_us
+        self.queries_executed = 0
+
+    # -- DDL / loading -----------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema, rows: list[tuple]) -> Table:
+        """Create a table with a clustered index over pre-sorted rows.
+
+        Initial load is instantaneous (experiments measure steady state);
+        the loader module models timed loading for Figure 27.
+        """
+        table = self.catalog.add_table(name, schema)
+        store = DevicePageFile(table.file_id, self.server, self.data_device)
+        self.pool.register_file(store)
+        ordered = sorted(rows, key=schema.key_of)
+        tree = BTree(
+            name=f"{name}.clustered",
+            pool=self.pool,
+            store=store,
+            key_fn=schema.key_of,
+            leaf_capacity=schema.rows_per_page,
+        )
+        tree.bulk_build(ordered)
+        table.clustered = tree
+        table.stats.row_count = len(ordered)
+        table.stats.page_count = tree.leaf_count
+        if ordered:
+            table.stats.min_key = schema.key_of(ordered[0])
+            table.stats.max_key = schema.key_of(ordered[-1])
+        return table
+
+    def create_secondary_index(
+        self,
+        table: Table,
+        column: str,
+        name: Optional[str] = None,
+        store: Optional[PageStore] = None,
+    ) -> BTree:
+        """Non-clustered index of ``(key, primary_key)`` entries.
+
+        ``store`` may live anywhere — including pinned remote memory,
+        which is the semantic-cache scenario of Section 3.3.
+        """
+        index_name = name or f"{table.name}.{column}"
+        if index_name in table.indexes:
+            raise EngineError(f"index {index_name!r} already exists")
+        if store is None:
+            store = DevicePageFile(
+                self.catalog.allocate_file_id(), self.server, self.data_device
+            )
+        if store.file_id not in self.pool.files:
+            self.pool.register_file(store)
+        extract = table.schema.extractor(column)
+        key_index = table.schema.key_index
+        # Build synchronously from the current clustered image (cheap:
+        # index creation happens during setup, not measurement).
+        leaf_rows = [
+            row
+            for page_rows in self._all_leaf_rows(table)
+            for row in page_rows
+        ]
+        entries = sorted(((extract(row), row[key_index]) for row in leaf_rows))
+        capacity = max(2, (PAGE_SIZE - 96) // INDEX_ENTRY_BYTES)
+        tree = BTree(
+            name=index_name,
+            pool=self.pool,
+            store=store,
+            key_fn=lambda entry: entry[0],
+            leaf_capacity=capacity,
+        )
+        tree.bulk_build(entries)
+        table.indexes[index_name] = tree
+        return tree
+
+    def _all_leaf_rows(self, table: Table):
+        """Direct (untimed) walk of the clustered leaves for DDL builds."""
+        tree: BTree = table.clustered
+        store = tree.store
+        page_no = None
+        # Find leftmost leaf without simulation time.
+        page = store._pages[tree.root_page_no]  # type: ignore[attr-defined]
+        from .page import PageKind
+
+        while page.kind is PageKind.BTREE_INTERNAL:
+            page = store._pages[page.meta["children"][0]]  # type: ignore[attr-defined]
+        while page is not None:
+            yield page.rows
+            next_no = page.meta.get("next")
+            if next_no is None:
+                break
+            page = store._pages[next_no]  # type: ignore[attr-defined]
+
+    # -- query execution ------------------------------------------------------
+
+    def execute(
+        self,
+        plan: Operator,
+        requested_memory_bytes: int = 0,
+        memory_consumers: int = 1,
+    ) -> ProcessGenerator:
+        """Run an operator tree; returns a :class:`QueryResult`."""
+        start = self.sim.now
+        yield from self.server.cpu.compute(self.query_setup_cpu_us)
+        grant = yield from self.grants.acquire(max(1, requested_memory_bytes))
+        ctx = ExecContext(db=self, grant=grant, memory_consumers=memory_consumers)
+        try:
+            rows = yield from plan.run(ctx)
+        finally:
+            grant.release()
+        self.queries_executed += 1
+        return QueryResult(rows, ctx.metrics, self.sim.now - start)
+
+    # -- DML (single-statement transactions) -----------------------------------
+
+    def update_by_key(
+        self, table: Table, key: Any, mutate: Callable[[tuple], tuple]
+    ) -> ProcessGenerator:
+        """UPDATE ... WHERE key = ?: log, apply, group-commit."""
+        record = yield from self.wal.log_update(table.name, key, None, LogRecordKind.UPDATE)
+        changed = yield from table.clustered.update_where(key, mutate, lsn=record.lsn)
+        yield from self.wal.log_update(table.name, key, None, LogRecordKind.COMMIT)
+        return changed
+
+    def insert_row(self, table: Table, row: tuple) -> ProcessGenerator:
+        key = table.key_of(row)
+        record = yield from self.wal.log_update(table.name, key, row, LogRecordKind.INSERT)
+        yield from table.clustered.insert(row, lsn=record.lsn)
+        table.stats.row_count += 1
+        yield from self.wal.log_update(table.name, key, None, LogRecordKind.COMMIT)
+
+    def delete_by_key(self, table: Table, key: Any) -> ProcessGenerator:
+        record = yield from self.wal.log_update(table.name, key, None, LogRecordKind.DELETE)
+        removed = yield from table.clustered.delete(key, lsn=record.lsn)
+        table.stats.row_count -= removed
+        yield from self.wal.log_update(table.name, key, None, LogRecordKind.COMMIT)
+        return removed

@@ -1,0 +1,19 @@
+"""Engine exception hierarchy."""
+
+__all__ = ["EngineError", "PageNotFound", "GrantTimeout", "PlanError"]
+
+
+class EngineError(RuntimeError):
+    """Base class for engine-level failures."""
+
+
+class PageNotFound(EngineError):
+    """A page id was requested that no file contains."""
+
+
+class GrantTimeout(EngineError):
+    """A query waited too long for workspace memory."""
+
+
+class PlanError(EngineError):
+    """The optimizer/executor was given an inconsistent plan."""

@@ -1,0 +1,153 @@
+"""TempDB: spill space for memory-intensive operators (Section 3.2).
+
+Hash joins and external sorts that exceed their memory grant write
+*runs* here in 512K extents (64 pages) — the large sequential I/O
+pattern the paper's Hash+Sort micro-benchmark stresses.  TempDB can be
+placed on the HDD array, the SSD, or (the paper's point) a remote
+memory file, just by handing this module a different page store.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from dataclasses import dataclass, field
+
+from ..sim.kernel import ProcessGenerator
+from .errors import EngineError
+from .files import PageStore
+from .page import Page, PageKind
+
+__all__ = ["TempDb", "SpillRun", "EXTENT_PAGES"]
+
+#: Extent size: 64 pages = 512 KB, matching the paper's sequential I/O.
+EXTENT_PAGES = 64
+
+
+@dataclass
+class SpillRun:
+    """A spilled sequence of rows: ordered extents in TempDB."""
+
+    run_id: int
+    extents: list[tuple[int, int]] = field(default_factory=list)  # (slot, pages)
+    row_count: int = 0
+    rows_per_page: int = 0
+
+    @property
+    def page_count(self) -> int:
+        return sum(pages for _slot, pages in self.extents)
+
+
+class TempDb:
+    """Extent allocator + run reader/writer over one page store."""
+
+    def __init__(self, store: PageStore):
+        if store.capacity_pages is None:
+            raise EngineError("TempDB store needs a fixed capacity")
+        self.store = store
+        extents = store.capacity_pages // EXTENT_PAGES
+        if extents < 1:
+            raise EngineError("TempDB too small for a single extent")
+        # Min-heap: allocation always takes the lowest free extent, so
+        # runs written back-to-back stay physically contiguous even
+        # after earlier runs were freed and their extents recycled.
+        self._free: list[int] = [index * EXTENT_PAGES for index in range(extents)]
+        heapq.heapify(self._free)
+        self._next_run_id = 1
+        self.bytes_spilled = 0
+        self.high_water_extents = 0
+
+    @property
+    def free_extents(self) -> int:
+        return len(self._free)
+
+    def _allocate_extent(self) -> int:
+        if not self._free:
+            raise EngineError("TempDB is full")
+        slot = heapq.heappop(self._free)
+        used = (self.store.capacity_pages // EXTENT_PAGES) - len(self._free)
+        self.high_water_extents = max(self.high_water_extents, used)
+        return slot
+
+    def free_run(self, run: SpillRun) -> None:
+        for slot, _pages in run.extents:
+            heapq.heappush(self._free, slot)
+        run.extents.clear()
+
+    # -- writing -----------------------------------------------------------
+
+    def write_run(self, rows: list, rows_per_page: int) -> ProcessGenerator:
+        """Spill ``rows`` as one run; returns the :class:`SpillRun`."""
+        if rows_per_page < 1:
+            raise EngineError("rows_per_page must be >= 1")
+        run = SpillRun(run_id=self._next_run_id, rows_per_page=rows_per_page)
+        self._next_run_id += 1
+        pages: list[Page] = []
+        for start in range(0, len(rows), rows_per_page):
+            chunk = rows[start : start + rows_per_page]
+            pages.append(Page(page_id=(self.store.file_id, -1), kind=PageKind.TEMP, rows=list(chunk)))
+        for start in range(0, len(pages), EXTENT_PAGES):
+            extent_pages = pages[start : start + EXTENT_PAGES]
+            slot = self._allocate_extent()
+            # Re-number the pages with their physical slots.
+            for index, page in enumerate(extent_pages):
+                page.page_id = (self.store.file_id, slot + index)
+            run.extents.append((slot, len(extent_pages)))
+        # Engines issue large gathered writes: group contiguous extents
+        # into up to 8 MB I/Os so the HDD array streams at bandwidth.
+        assigned = 0
+        for slot, pages_in_group in self._coalesce(run.extents, limit=16):
+            group = pages[assigned : assigned + pages_in_group]
+            yield from self.store.write_batch(slot, group)
+            assigned += pages_in_group
+        run.row_count = len(rows)
+        self.bytes_spilled += len(pages) * 8192
+        return run
+
+    # -- reading -----------------------------------------------------------
+
+    def _coalesce(self, extents: list[tuple[int, int]], limit: int = 64) -> list[tuple[int, int]]:
+        """Merge physically-contiguous extents into larger reads.
+
+        Runs are written with ascending extent allocation, so a run is
+        usually one contiguous region; reading it as a few large I/Os
+        (instead of one seek per 512K extent) is what lets the RAID-0
+        array stream at sequential bandwidth during the merge phase.
+        """
+        coalesced: list[tuple[int, int]] = []
+        for slot, pages in extents:
+            contiguous = coalesced and coalesced[-1][0] + coalesced[-1][1] == slot
+            within_limit = coalesced and coalesced[-1][1] + pages <= limit * EXTENT_PAGES
+            if contiguous and within_limit:
+                coalesced[-1] = (coalesced[-1][0], coalesced[-1][1] + pages)
+            else:
+                coalesced.append((slot, pages))
+        return coalesced
+
+    def read_run(self, run: SpillRun) -> ProcessGenerator:
+        """Read a whole run back; returns the row list in run order."""
+        rows: list = []
+        for slot, pages in self._coalesce(run.extents):
+            extent = yield from self.store.read_batch(slot, pages)
+            for page in extent:
+                rows.extend(page.rows)
+        return rows
+
+    #: Read-ahead window for streaming merges (extents per refill).
+    MERGE_READAHEAD_EXTENTS = 8
+
+    def read_extent(self, run: SpillRun, index: int) -> ProcessGenerator:
+        """Read a window of extents of a run (streaming merge path).
+
+        Returns ``(rows, extents_consumed)`` — the merge advances its
+        cursor by the number of extents actually read.
+        """
+        window = run.extents[index : index + self.MERGE_READAHEAD_EXTENTS]
+        rows: list = []
+        consumed = 0
+        for slot, pages in self._coalesce(window):
+            extent = yield from self.store.read_batch(slot, pages)
+            for page in extent:
+                rows.extend(page.rows)
+        consumed = len(window)
+        return rows, consumed

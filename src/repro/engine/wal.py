@@ -1,0 +1,178 @@
+"""Write-ahead log with group commit, checkpoints and REDO recovery.
+
+The transaction log lives on the HDD array in every design (Table 5 —
+only data-file caching and spills move to remote memory), which is why
+update throughput in Figures 7/8 improves with spindle count: commits
+are bounded by sequential log writes.
+
+REDO recovery is what rebuilds semantic-cache structures after a remote
+node failure (Appendix B.4, Figure 26): replay the tail of the log from
+the last checkpoint and re-apply every change whose LSN is newer than
+the recovered page image.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..cluster import Server
+from ..sim.kernel import ProcessGenerator
+from ..storage import KB, BlockDevice, IoOp
+
+__all__ = ["LogRecordKind", "LogRecord", "WriteAheadLog", "redo_replay"]
+
+#: On-disk size of one log record (header + row image), bytes.
+LOG_RECORD_BYTES = 128
+#: Max records bundled into one group-commit flush.
+GROUP_COMMIT_BATCH = 64
+#: Concurrent outstanding log flushes (SQL Server allows several).
+OUTSTANDING_FLUSHES = 8
+#: CPU to format/apply one record.
+RECORD_CPU_US = 0.5
+
+
+class LogRecordKind(enum.Enum):
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+    COMMIT = "commit"
+    CHECKPOINT = "checkpoint"
+
+
+@dataclass
+class LogRecord:
+    lsn: int
+    kind: LogRecordKind
+    table: str = ""
+    index: str = ""
+    key: Any = None
+    #: Row image (after-image for REDO).
+    row: Any = None
+    txn_id: int = 0
+    payload_bytes: int = LOG_RECORD_BYTES
+
+
+class WriteAheadLog:
+    """Append-only log on a block device with group commit."""
+
+    def __init__(self, server: Server, device: BlockDevice):
+        self.server = server
+        self.device = device
+        self.sim = server.sim
+        self._next_lsn = 1
+        self._tail_offset = 0
+        #: Durable record history (the log image, used by recovery).
+        self.records: list[LogRecord] = []
+        self.checkpoint_lsn = 0
+        self._pending: list[tuple[LogRecord, Any]] = []
+        self._flush_slots = self.sim.resource(capacity=OUTSTANDING_FLUSHES, name="wal.flush")
+        self._signal = self.sim.store(name="wal.signal")
+        self.flushes = 0
+        self.sim.spawn(self._flusher(), name="wal.flusher")
+
+    def next_lsn(self) -> int:
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        return lsn
+
+    # -- append path -------------------------------------------------------
+
+    def append(self, record: LogRecord) -> ProcessGenerator:
+        """Append and wait until the record is durable (group commit)."""
+        yield from self.server.cpu.compute(RECORD_CPU_US)
+        durable = self.sim.event()
+        self._pending.append((record, durable))
+        self._signal.put(None)
+        yield durable
+        return record.lsn
+
+    def log_update(
+        self, table: str, key: Any, row: Any, kind: LogRecordKind = LogRecordKind.UPDATE,
+        index: str = "", txn_id: int = 0,
+    ) -> ProcessGenerator:
+        record = LogRecord(
+            lsn=self.next_lsn(), kind=kind, table=table, index=index,
+            key=key, row=row, txn_id=txn_id,
+        )
+        yield from self.append(record)
+        return record
+
+    def _flusher(self) -> ProcessGenerator:
+        while True:
+            yield self._signal.get()
+            if not self._pending:
+                continue
+            batch, self._pending = (
+                self._pending[:GROUP_COMMIT_BATCH],
+                self._pending[GROUP_COMMIT_BATCH:],
+            )
+            yield self._flush_slots.request()
+            self.sim.spawn(self._flush_batch(batch), name="wal.flush_batch")
+            # Re-arm if more work queued behind the batch limit.
+            if self._pending:
+                self._signal.put(None)
+
+    def _flush_batch(self, batch: list[tuple[LogRecord, Any]]) -> ProcessGenerator:
+        size = max(4 * KB, sum(record.payload_bytes for record, _e in batch))
+        offset = self._tail_offset
+        self._tail_offset += size
+        try:
+            yield from self.device.io(IoOp.WRITE, offset, size)
+        finally:
+            self._flush_slots.release()
+        for record, event in batch:
+            self.records.append(record)
+            event.succeed(record.lsn)
+        self.flushes += 1
+
+    # -- checkpointing / recovery ---------------------------------------------
+
+    def checkpoint(self) -> ProcessGenerator:
+        """Record a checkpoint; REDO starts from here."""
+        record = LogRecord(lsn=self.next_lsn(), kind=LogRecordKind.CHECKPOINT)
+        yield from self.append(record)
+        self.checkpoint_lsn = record.lsn
+        return record.lsn
+
+    def records_since(self, lsn: int) -> list[LogRecord]:
+        return [record for record in self.records if record.lsn > lsn]
+
+    @property
+    def durable_bytes(self) -> int:
+        return self._tail_offset
+
+
+def redo_replay(
+    server: Server,
+    log: WriteAheadLog,
+    apply_fn: Callable[[LogRecord], Optional[ProcessGenerator]],
+    from_lsn: Optional[int] = None,
+    read_chunk_bytes: int = 512 * KB,
+) -> ProcessGenerator:
+    """REDO pass: stream the log tail from disk and re-apply records.
+
+    ``apply_fn`` is called per REDO-able record; it may return a
+    generator (e.g. writes into remote memory) which is awaited.
+    Returns the number of records applied.
+    """
+    start_lsn = log.checkpoint_lsn if from_lsn is None else from_lsn
+    tail = log.records_since(start_lsn)
+    # Sequentially read the log tail from the log device.
+    bytes_to_read = sum(record.payload_bytes for record in tail)
+    offset = 0
+    while offset < bytes_to_read:
+        chunk = min(read_chunk_bytes, bytes_to_read - offset)
+        yield from log.device.io(IoOp.READ, offset, chunk)
+        offset += chunk
+    applied = 0
+    for record in tail:
+        if record.kind in (LogRecordKind.COMMIT, LogRecordKind.CHECKPOINT):
+            continue
+        yield from server.cpu.compute(RECORD_CPU_US)
+        result = apply_fn(record)
+        if result is not None:
+            yield from result
+        applied += 1
+    return applied

@@ -1,0 +1,245 @@
+"""Build a full engine instance for one Table-5 design alternative.
+
+``build_database`` assembles the cluster (DB server + memory servers),
+the storage devices, the remote-memory machinery for the designs that
+need it, and a :class:`~repro.engine.Database` wired to the right media
+for BPExt and TempDB.  Workload modules then load tables into it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..broker import MemoryBroker, MemoryProxy
+from ..cluster import Cluster, Server
+from ..engine import Database, DevicePageFile, RemotePageFile, SmbPageFile
+from ..engine.page import PAGE_SIZE
+from ..net import Network, SmbClient, SmbDirectClient, SmbFileServer
+from ..remotefile import AccessPolicy, RemoteMemoryFilesystem, StagingPool
+from ..storage import GB, MB, RamDrive, Raid0Array, SsdDevice
+from .designs import Design, DESIGNS
+
+__all__ = ["DbSetup", "build_database", "prewarm_extension", "prewarm_pool"]
+
+#: File ids reserved for engine-internal files.
+BPEXT_FILE_ID = 900
+TEMPDB_FILE_ID = 901
+
+
+@dataclass
+class DbSetup:
+    """Everything a benchmark needs to drive one configuration."""
+
+    design: Design
+    cluster: Cluster
+    db_server: Server
+    database: Database
+    memory_servers: list[Server] = field(default_factory=list)
+    broker: Optional[MemoryBroker] = None
+    remote_fs: Optional[RemoteMemoryFilesystem] = None
+    network: Optional[Network] = None
+
+    @property
+    def sim(self):
+        return self.cluster.sim
+
+    def run(self, generator):
+        return self.sim.run_until_complete(self.sim.spawn(generator))
+
+
+def build_database(
+    design: Design,
+    bp_pages: int,
+    bpext_pages: int = 0,
+    tempdb_pages: int = 4096,
+    data_spindles: int = 20,
+    n_memory_servers: int = 1,
+    analytic: bool = False,
+    workspace_bytes: Optional[int] = None,
+    local_memory_bonus_pages: int = 0,
+    seed: int = 0,
+    db_cores: int = 20,
+) -> DbSetup:
+    """Assemble one design alternative.
+
+    ``analytic=True`` applies the paper's rule of disabling BPExt for
+    sequential workloads on the HDD/HDD+SSD baselines (Section 5.3).
+    ``local_memory_bonus_pages`` grows the pool for the *Local Memory*
+    design by the amount other designs get as remote memory.
+    """
+    config = DESIGNS[design]
+    cluster = Cluster(seed=seed)
+    sim = cluster.sim
+    network = Network(sim)
+    db_server = cluster.add_server("db", cores=db_cores, memory_bytes=384 * GB)
+    network.attach(db_server)
+    hdd = db_server.attach_device(
+        "hdd", Raid0Array(sim, spindles=data_spindles, rng=cluster.rng.stream("hdd"))
+    )
+    ssd = db_server.attach_device("ssd", SsdDevice(sim))
+
+    setup = DbSetup(
+        design=design, cluster=cluster, db_server=db_server,
+        database=None, network=network,  # type: ignore[arg-type]
+    )
+
+    bpext_enabled = config.bpext is not None and bpext_pages > 0
+    if analytic and not config.bpext_for_analytics:
+        bpext_enabled = False
+
+    bpext_store = None
+    tempdb_store = None
+
+    if design in (Design.HDD, Design.LOCAL_MEMORY) or config.protocol is None:
+        # Purely local designs.
+        if bpext_enabled and config.bpext == "ssd":
+            bpext_store = DevicePageFile(
+                BPEXT_FILE_ID, db_server, ssd, capacity_pages=bpext_pages
+            )
+        tempdb_device = ssd if config.tempdb == "ssd" else hdd
+        tempdb_store = DevicePageFile(
+            TEMPDB_FILE_ID, db_server, tempdb_device,
+            capacity_pages=tempdb_pages, base_offset=512 * GB,
+            chunk_pages=None,  # TempDB is preallocated contiguously
+        )
+    else:
+        # Remote-memory designs need memory servers.
+        remote_bytes_needed = (bpext_pages + tempdb_pages) * PAGE_SIZE + 64 * MB
+        per_server = remote_bytes_needed // n_memory_servers + 32 * MB
+        for index in range(n_memory_servers):
+            server = cluster.add_server(
+                f"mem{index}", memory_bytes=max(384 * GB, per_server + 64 * GB)
+            )
+            network.attach(server)
+            setup.memory_servers.append(server)
+
+        if config.protocol in ("smb", "smbdirect"):
+            mem = setup.memory_servers[0]
+            drive = mem.attach_device("ramdrive", RamDrive(sim, name=f"{mem.name}.ramdrive"))
+            file_server = SmbFileServer(mem, drive)
+            client_cls = SmbClient if config.protocol == "smb" else SmbDirectClient
+            if bpext_enabled:
+                bpext_store = SmbPageFile(
+                    BPEXT_FILE_ID, db_server, client_cls(db_server, file_server),
+                    capacity_pages=bpext_pages,
+                )
+            tempdb_store = SmbPageFile(
+                TEMPDB_FILE_ID, db_server, client_cls(db_server, file_server),
+                capacity_pages=tempdb_pages,
+            )
+        else:  # ndspi / Custom
+            broker = MemoryBroker(sim)
+            policy = AccessPolicy.SYNC if config.sync_remote_io else AccessPolicy.ASYNC
+            fs = RemoteMemoryFilesystem(
+                db_server, broker, StagingPool(db_server, schedulers=db_cores), policy=policy
+            )
+            setup.broker = broker
+            setup.remote_fs = fs
+
+            def bootstrap():
+                yield from fs.initialize()
+                for server in setup.memory_servers:
+                    proxy = MemoryProxy(server, broker, mr_bytes=64 * MB)
+                    yield from proxy.offer_available(limit_bytes=per_server + 128 * MB)
+                stores = {}
+                spread = n_memory_servers > 1
+                if bpext_enabled:
+                    file = yield from fs.create(
+                        "bpext", bpext_pages * PAGE_SIZE, spread=spread
+                    )
+                    yield from file.open()
+                    stores["bpext"] = RemotePageFile(BPEXT_FILE_ID, file, capacity_pages=bpext_pages)
+                file = yield from fs.create(
+                    "tempdb", tempdb_pages * PAGE_SIZE, spread=spread
+                )
+                yield from file.open()
+                stores["tempdb"] = RemotePageFile(TEMPDB_FILE_ID, file, capacity_pages=tempdb_pages)
+                return stores
+
+            stores = setup.run(bootstrap())
+            bpext_store = stores.get("bpext")
+            tempdb_store = stores["tempdb"]
+
+    total_bp_pages = bp_pages
+    if design is Design.LOCAL_MEMORY:
+        total_bp_pages += local_memory_bonus_pages
+
+    database = Database(
+        db_server,
+        bp_pages=total_bp_pages,
+        data_device=hdd,
+        log_device=hdd,
+        bpext_store=bpext_store,
+        tempdb_store=tempdb_store,
+        workspace_bytes=workspace_bytes,
+    )
+    setup.database = database
+    return setup
+
+
+def prewarm_extension(setup: DbSetup, max_pages: Optional[int] = None) -> int:
+    """Install every base-file page into the BPExt (steady-state setup).
+
+    Long-running systems reach a state where the extension holds the
+    whole working set; benchmarks call this instead of burning wall
+    clock replaying hours of warm-up traffic.  Returns pages installed.
+    """
+    pool = setup.database.pool
+    extension = pool.extension
+    if extension is None:
+        return 0
+    installed = 0
+    budget = extension.capacity_pages if max_pages is None else min(
+        extension.capacity_pages, max_pages
+    )
+    from ..engine.files import DevicePageFile, RemotePageFile, SmbPageFile
+    from ..engine.page import PAGE_SIZE
+
+    ext_store = extension.store
+    for store in pool.files.values():
+        pages = getattr(store, "_pages", None)
+        if pages is None:
+            continue
+        for page_no, page in pages.items():
+            if installed >= budget or not extension._free:
+                return installed
+            slot = extension._free.pop()
+            extension._slots[(store.file_id, page_no)] = slot
+            snapshot = page.copy()  # keeps the original page_id
+            if isinstance(ext_store, RemotePageFile):
+                segments = ext_store.remote_file._locate(slot * PAGE_SIZE, PAGE_SIZE)
+                lease, mr_offset, length = segments[0]
+                lease.region.put_object(mr_offset, length, snapshot)
+                ext_store._present.add(slot)
+            else:  # DevicePageFile / SmbPageFile keep a slot-keyed dict
+                ext_store._pages[slot] = snapshot
+            installed += 1
+    return installed
+
+
+def prewarm_pool(setup: DbSetup, max_pages: Optional[int] = None) -> int:
+    """Fill the buffer pool with base-file pages (steady-state setup).
+
+    Used chiefly for the *Local Memory* design, whose pool is large
+    enough to hold the database: benchmarks measure steady state, not
+    the hours of traffic it takes to get there.  Returns pages cached.
+    """
+    pool = setup.database.pool
+    budget = pool.capacity_pages if max_pages is None else min(pool.capacity_pages, max_pages)
+    from ..engine.bufferpool import Frame
+
+    installed = 0
+    for store in pool.files.values():
+        pages = getattr(store, "_pages", None)
+        if pages is None:
+            continue
+        for _page_no, page in pages.items():
+            if installed >= budget - 1:
+                return installed
+            page_id = page.page_id
+            if page_id in pool._frames:
+                continue
+            pool._frames[page_id] = Frame(page.copy())
+            installed += 1
+    return installed

@@ -1,0 +1,80 @@
+"""The design alternatives of Table 5.
+
+=====================  ==========  ============  ============  =========
+Design                 Data files  TempDB        BPExt         Protocol
+=====================  ==========  ============  ============  =========
+HDD                    HDD         HDD           (disabled)    —
+HDD+SSD                HDD         SSD           SSD [OLTP]    —
+SMB+RamDrive           HDD         remote mem    remote mem    SMB (TCP)
+SMBDirect+RamDrive     HDD         remote mem    remote mem    SMB Direct
+Custom                 HDD         remote mem    remote mem    NDSPI
+Local Memory           HDD         SSD           (not needed)  —
+=====================  ==========  ============  ============  =========
+
+For analytic workloads the paper disables BPExt on the HDD/HDD+SSD
+baselines because redirecting sequential scans to the SSD's random path
+is a loss (Section 5.3); :attr:`DesignConfig.bpext_for_analytics`
+captures that rule.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Design", "DesignConfig", "DESIGNS", "REMOTE_DESIGNS"]
+
+
+class Design(enum.Enum):
+    HDD = "HDD"
+    HDD_SSD = "HDD+SSD"
+    SMB_RAMDRIVE = "SMB+RamDrive"
+    SMBDIRECT_RAMDRIVE = "SMBDirect+RamDrive"
+    CUSTOM = "Custom"
+    LOCAL_MEMORY = "Local Memory"
+
+
+@dataclass(frozen=True)
+class DesignConfig:
+    design: Design
+    #: Medium for TempDB: "hdd", "ssd" or "remote".
+    tempdb: str
+    #: Medium for the buffer-pool extension (None = disabled).
+    bpext: str | None
+    #: Transport for remote memory: None, "smb", "smbdirect", "ndspi".
+    protocol: str | None
+    #: Whether BPExt stays enabled for sequential/analytic workloads.
+    bpext_for_analytics: bool
+    #: Whether remote I/O is waited on synchronously (spin).
+    sync_remote_io: bool
+
+
+DESIGNS: dict[Design, DesignConfig] = {
+    Design.HDD: DesignConfig(
+        Design.HDD, tempdb="hdd", bpext=None, protocol=None,
+        bpext_for_analytics=False, sync_remote_io=False,
+    ),
+    Design.HDD_SSD: DesignConfig(
+        Design.HDD_SSD, tempdb="ssd", bpext="ssd", protocol=None,
+        bpext_for_analytics=False, sync_remote_io=False,
+    ),
+    Design.SMB_RAMDRIVE: DesignConfig(
+        Design.SMB_RAMDRIVE, tempdb="remote", bpext="remote", protocol="smb",
+        bpext_for_analytics=True, sync_remote_io=False,
+    ),
+    Design.SMBDIRECT_RAMDRIVE: DesignConfig(
+        Design.SMBDIRECT_RAMDRIVE, tempdb="remote", bpext="remote",
+        protocol="smbdirect", bpext_for_analytics=True, sync_remote_io=False,
+    ),
+    Design.CUSTOM: DesignConfig(
+        Design.CUSTOM, tempdb="remote", bpext="remote", protocol="ndspi",
+        bpext_for_analytics=True, sync_remote_io=True,
+    ),
+    Design.LOCAL_MEMORY: DesignConfig(
+        Design.LOCAL_MEMORY, tempdb="ssd", bpext=None, protocol=None,
+        bpext_for_analytics=False, sync_remote_io=False,
+    ),
+}
+
+#: Designs that place TempDB/BPExt in remote memory.
+REMOTE_DESIGNS = (Design.SMB_RAMDRIVE, Design.SMBDIRECT_RAMDRIVE, Design.CUSTOM)

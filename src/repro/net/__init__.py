@@ -1,0 +1,32 @@
+"""Network substrate: Infiniband fabric, RDMA verbs, TCP, SMB protocols."""
+
+from .fabric import Network, NicPort
+from .rdma import (
+    MR_MAX_COUNT,
+    MR_MAX_SIZE,
+    MR_REGISTER_BASE_US,
+    MemoryRegion,
+    QueuePair,
+    RdmaError,
+    RdmaRegistrar,
+)
+from .smb import SmbClient, SmbDirectClient, SmbFileServer
+from .tcp import TcpChannel, TcpEndpoint, attach_tcp
+
+__all__ = [
+    "MR_MAX_COUNT",
+    "MR_MAX_SIZE",
+    "MR_REGISTER_BASE_US",
+    "MemoryRegion",
+    "Network",
+    "NicPort",
+    "QueuePair",
+    "RdmaError",
+    "RdmaRegistrar",
+    "SmbClient",
+    "SmbDirectClient",
+    "SmbFileServer",
+    "TcpChannel",
+    "TcpEndpoint",
+    "attach_tcp",
+]

@@ -1,0 +1,105 @@
+"""Network fabric: the Infiniband switch and per-server NIC ports.
+
+The paper's cluster uses Mellanox ConnectX-3 FDR adapters (56 Gbps) on a
+non-blocking top-of-rack switch.  The raw wire is 7 GB/s, but the
+achievable data rate through a NIC is DMA/PCIe-bound at ~5.4 GB/s (this
+is what the 512K-sequential SQLIO numbers in Figure 3 show: ~5.1 GB/s
+for both Custom and SMB Direct).
+
+Each :class:`NicPort` has independent transmit and receive engines,
+modelled as serialized pipes with a small fixed per-message cost.  A
+transfer from A to B occupies A's TX engine, the (negligible) wire, and
+B's RX engine in a pipeline — so saturation can occur at either side,
+which is exactly what Figures 5 and 6 probe.
+"""
+
+from __future__ import annotations
+
+from ..cluster import Server
+from ..sim import Resource, Simulator
+from ..sim.kernel import ProcessGenerator
+from ..storage import GB
+
+__all__ = ["Network", "NicPort"]
+
+
+class NicProfile:
+    """Timing characteristics of one RDMA-capable NIC port."""
+
+    #: Effective DMA-bound data bandwidth per direction.
+    bandwidth_bytes_per_us = 5.4 * GB / 1e6
+    #: Serialized per-message engine cost (descriptor fetch, doorbell).
+    per_message_us = 0.5
+    #: Fixed processing latency per message, not serialized.
+    processing_us = 1.5
+
+
+class Network:
+    """The switch: attach servers to get NIC ports; non-blocking core."""
+
+    def __init__(self, sim: Simulator, propagation_us: float = 1.0):
+        self.sim = sim
+        self.propagation_us = propagation_us
+        self.ports: dict[str, NicPort] = {}
+
+    def attach(self, server: Server, profile: NicProfile | None = None) -> "NicPort":
+        if server.name in self.ports:
+            raise ValueError(f"server {server.name!r} already attached")
+        port = NicPort(self, server, profile or NicProfile())
+        self.ports[server.name] = port
+        server.nic = port
+        return port
+
+    def port(self, server_name: str) -> "NicPort":
+        return self.ports[server_name]
+
+
+class NicPort:
+    """One server's NIC: independent TX/RX engines plus a message pipe."""
+
+    def __init__(self, network: Network, server: Server, profile: NicProfile):
+        self.network = network
+        self.server = server
+        self.profile = profile
+        sim = network.sim
+        self.tx = Resource(sim, capacity=1, name=f"{server.name}.nic.tx")
+        self.rx = Resource(sim, capacity=1, name=f"{server.name}.nic.rx")
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+
+    def _engine_time(self, size: int) -> float:
+        return self.profile.per_message_us + size / self.profile.bandwidth_bytes_per_us
+
+    def transfer(self, dst: "NicPort", size: int) -> ProcessGenerator:
+        """Move ``size`` payload bytes from this port to ``dst``.
+
+        Pipelined: TX engine, propagation, RX engine.  Returns total µs.
+        """
+        sim = self.network.sim
+        start = sim.now
+        yield self.tx.request()
+        try:
+            yield sim.timeout(self._engine_time(size))
+        finally:
+            self.tx.release()
+        yield sim.timeout(self.network.propagation_us + self.profile.processing_us)
+        yield dst.rx.request()
+        try:
+            yield sim.timeout(dst._engine_time(size))
+        finally:
+            dst.rx.release()
+        self.bytes_sent += size
+        self.messages_sent += 1
+        dst.bytes_received += size
+        return sim.now - start
+
+    def send_control(self, dst: "NicPort") -> ProcessGenerator:
+        """A small control message (request packet, ack, doorbell)."""
+        sim = self.network.sim
+        yield sim.timeout(
+            self.profile.per_message_us
+            + self.network.propagation_us
+            + self.profile.processing_us
+        )
+        self.messages_sent += 1

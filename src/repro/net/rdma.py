@@ -1,0 +1,237 @@
+"""RDMA verbs: memory regions, registration, queue pairs, one-sided ops.
+
+This is the simulated equivalent of the NDSPI layer the paper's Custom
+design uses (Section 4.2).  Faithfully modelled properties:
+
+* **Registration is expensive**: registering an 8K page costs ~50 µs —
+  the same order as transferring it — which is why the paper
+  pre-registers staging buffers instead of registering buffer-pool pages
+  on demand (Section 4.1.4).  NICs also cap the size (2 GB) and the
+  number (~130 K) of registered regions (Appendix A).
+* **One-sided data path**: an RDMA read/write moves data between the
+  pinned regions using only the two NICs' DMA engines; the remote CPU is
+  *never* involved.  Compare :mod:`repro.net.tcp`, which charges the
+  remote server's cores per message — the root of Figure 13's result.
+* **Memory regions carry real bytes** so integrity is testable
+  end-to-end.  An object-extent overlay lets higher layers move Python
+  objects with identical timing but without per-transfer serialization.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from ..cluster import Server
+from ..sim.kernel import ProcessGenerator
+from ..storage import GB, KB
+from .fabric import NicPort
+
+__all__ = ["MemoryRegion", "RdmaRegistrar", "QueuePair", "RdmaError", "MR_REGISTER_BASE_US"]
+
+#: Fixed cost of a registration call (kernel transition, pinning setup).
+MR_REGISTER_BASE_US = 45.0
+#: Incremental cost per 8K page (page-table entry install + pinning).
+MR_REGISTER_PER_PAGE_US = 5.0
+#: NIC limits (Appendix A: 2 GB per MR, ~130 K MRs on the ConnectX-3).
+MR_MAX_SIZE = 2 * GB
+MR_MAX_COUNT = 130_000
+_PAGE = 8 * KB
+
+
+class RdmaError(RuntimeError):
+    """Registration-limit violations and invalid remote accesses."""
+
+
+class MemoryRegion:
+    """A pinned, NIC-registered block of a server's physical memory."""
+
+    _next_id = 0
+
+    def __init__(self, server: Server, size: int):
+        MemoryRegion._next_id += 1
+        self.mr_id = MemoryRegion._next_id
+        self.server = server
+        self.size = size
+        self.registered = False
+        self._data: bytearray | None = None
+        #: Object-extent overlay: offset -> (length, payload object).
+        self._objects: dict[int, tuple[int, Any]] = {}
+
+    @property
+    def data(self) -> bytearray:
+        if self._data is None:
+            self._data = bytearray(self.size)
+        return self._data
+
+    def _check_range(self, offset: int, size: int) -> None:
+        if offset < 0 or size < 0 or offset + size > self.size:
+            raise RdmaError(
+                f"access [{offset}, {offset + size}) outside MR of {self.size} bytes"
+            )
+
+    # Raw byte access (used by the NIC DMA path).
+
+    def read_bytes(self, offset: int, size: int) -> bytes:
+        self._check_range(offset, size)
+        return bytes(self.data[offset : offset + size])
+
+    def write_bytes(self, offset: int, payload: bytes) -> None:
+        self._check_range(offset, len(payload))
+        self.data[offset : offset + len(payload)] = payload
+
+    # Object-extent overlay (same timing, no serialization).
+
+    def put_object(self, offset: int, size: int, obj: Any) -> None:
+        self._check_range(offset, size)
+        self._objects[offset] = (size, obj)
+
+    def get_object(self, offset: int) -> Any:
+        if offset not in self._objects:
+            raise RdmaError(f"no object stored at MR offset {offset}")
+        return self._objects[offset][1]
+
+    def drop_object(self, offset: int) -> None:
+        self._objects.pop(offset, None)
+
+    def clear(self) -> None:
+        self._objects.clear()
+        self._data = None
+
+
+class RdmaRegistrar:
+    """Per-server registration state: enforces NIC limits and costs.
+
+    Registration pins the memory (commits it against the server) and
+    installs page-table entries on the NIC, costing
+    ``MR_REGISTER_BASE_US + pages * MR_REGISTER_PER_PAGE_US`` of the
+    *registering server's* CPU.
+    """
+
+    def __init__(self, server: Server):
+        self.server = server
+        self.regions: dict[int, MemoryRegion] = {}
+
+    def registration_cost_us(self, size: int) -> float:
+        pages = max(1, math.ceil(size / _PAGE))
+        return MR_REGISTER_BASE_US + pages * MR_REGISTER_PER_PAGE_US
+
+    def register(self, size: int, commit: bool = True) -> ProcessGenerator:
+        """Create, pin and register a region; returns the MemoryRegion."""
+        if size <= 0:
+            raise RdmaError("MR size must be positive")
+        if size > MR_MAX_SIZE:
+            raise RdmaError(f"MR size {size} exceeds NIC limit {MR_MAX_SIZE}")
+        if len(self.regions) >= MR_MAX_COUNT:
+            raise RdmaError("NIC MR count limit reached")
+        if commit:
+            self.server.commit_memory(size)
+        region = MemoryRegion(self.server, size)
+        yield from self.server.cpu.compute(self.registration_cost_us(size))
+        region.registered = True
+        self.regions[region.mr_id] = region
+        return region
+
+    def deregister(self, region: MemoryRegion, release: bool = True) -> ProcessGenerator:
+        if region.mr_id not in self.regions:
+            raise RdmaError("region is not registered here")
+        yield from self.server.cpu.compute(MR_REGISTER_BASE_US / 2)
+        del self.regions[region.mr_id]
+        region.registered = False
+        region.clear()
+        if release:
+            self.server.release_memory(region.size)
+
+
+#: CPU cost on the initiator to post a work request and reap completion.
+POST_CPU_US = 0.3
+
+
+class QueuePair:
+    """A reliable connection between two servers for one-sided verbs."""
+
+    def __init__(self, initiator: Server, target: Server):
+        if initiator.nic is None or target.nic is None:
+            raise RdmaError("both servers must be attached to the network")
+        self.initiator = initiator
+        self.target = target
+        self.connected = True
+        self.reads = 0
+        self.writes = 0
+
+    def _require_connected(self, region: MemoryRegion) -> None:
+        if not self.connected:
+            raise RdmaError("queue pair is disconnected")
+        if not region.registered:
+            raise RdmaError("remote region is not registered")
+        if region.server is not self.target:
+            raise RdmaError("region does not belong to the connected target")
+
+    def disconnect(self) -> None:
+        self.connected = False
+
+    # -- one-sided verbs --------------------------------------------------
+
+    def read(
+        self,
+        region: MemoryRegion,
+        offset: int,
+        size: int,
+        opaque: bool = False,
+        nodata: bool = False,
+    ) -> ProcessGenerator:
+        """One-sided RDMA read; returns bytes (or the stored object).
+
+        ``nodata=True`` performs the full timing path without touching
+        the region's backing store (used by I/O micro-benchmarks that
+        sweep spans far larger than host RAM).
+        """
+        self._require_connected(region)
+        sim = self.initiator.sim
+        src: NicPort = self.initiator.nic
+        dst: NicPort = self.target.nic
+        # Post the read work request and send it to the target NIC.
+        yield sim.timeout(POST_CPU_US)
+        yield from src.send_control(dst)
+        # Target NIC DMAs the data and streams it back — no target CPU.
+        yield from dst.transfer(src, size)
+        # Completion-queue entry processed at the initiator.
+        yield sim.timeout(POST_CPU_US)
+        self.reads += 1
+        if nodata:
+            return None
+        if opaque:
+            return region.get_object(offset)
+        return region.read_bytes(offset, size)
+
+    def write(
+        self,
+        region: MemoryRegion,
+        offset: int,
+        payload: bytes | None = None,
+        size: int | None = None,
+        obj: Any = None,
+        nodata: bool = False,
+    ) -> ProcessGenerator:
+        """One-sided RDMA write of ``payload`` bytes or an opaque object."""
+        self._require_connected(region)
+        if payload is None and size is None:
+            raise RdmaError("write needs payload bytes or an explicit size")
+        if payload is None and obj is None and not nodata:
+            raise RdmaError("write needs payload bytes or (size, obj)")
+        length = len(payload) if payload is not None else int(size)  # type: ignore[arg-type]
+        sim = self.initiator.sim
+        src: NicPort = self.initiator.nic
+        dst: NicPort = self.target.nic
+        yield sim.timeout(POST_CPU_US)
+        yield from src.transfer(dst, length)
+        # Hardware ack from the target NIC.
+        yield from dst.send_control(src)
+        yield sim.timeout(POST_CPU_US)
+        if not nodata:
+            if payload is not None:
+                region.write_bytes(offset, payload)
+            else:
+                region.put_object(offset, length, obj)
+        self.writes += 1
+        return length

@@ -1,0 +1,95 @@
+"""TCP/IP transport model.
+
+In contrast to the one-sided RDMA path, every TCP message:
+
+* crosses the kernel on both ends (syscall, interrupt, wakeup),
+* copies the payload between user and kernel buffers, charging the CPU
+  on *both* the sender and the receiver, and
+* achieves a lower effective data rate (~3.5 GB/s on this hardware —
+  the SMB+RamDrive sequential result in Figure 3).
+
+The remote-CPU cost is what degrades a busy memory server by ~10 %
+(20 % at the 99th percentile) when its memory is accessed over TCP
+(Figure 13); the RDMA path has no equivalent term.
+"""
+
+from __future__ import annotations
+
+from ..cluster import Server
+from ..sim import Resource
+from ..sim.kernel import ProcessGenerator
+from ..storage import GB
+
+__all__ = ["TcpEndpoint", "TcpChannel", "attach_tcp"]
+
+
+class TcpProfile:
+    #: Effective streaming bandwidth of one direction (protocol-bound).
+    bandwidth_bytes_per_us = 3.5 * GB / 1e6
+    #: Kernel CPU per message on each side (syscall / interrupt / wakeup).
+    per_message_cpu_us = 8.0
+    #: CPU copy cost between user and kernel space (both sides pay it).
+    copy_bytes_per_us = 3.0 * GB / 1e6
+    #: One-way latency through the kernel network stack (not serialized).
+    stack_latency_us = 15.0
+
+
+class TcpEndpoint:
+    """Per-server TCP state: effective-bandwidth pipes for each direction."""
+
+    def __init__(self, server: Server, profile: TcpProfile | None = None):
+        self.server = server
+        self.profile = profile or TcpProfile()
+        sim = server.sim
+        self.tx = Resource(sim, capacity=1, name=f"{server.name}.tcp.tx")
+        self.rx = Resource(sim, capacity=1, name=f"{server.name}.tcp.rx")
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        server.tcp = self
+
+
+def attach_tcp(server: Server, profile: TcpProfile | None = None) -> TcpEndpoint:
+    """Give ``server`` a TCP endpoint (idempotent)."""
+    if server.tcp is None:
+        TcpEndpoint(server, profile)
+    return server.tcp
+
+
+class TcpChannel:
+    """A connection between two servers; ``send`` moves payload bytes."""
+
+    def __init__(self, src: Server, dst: Server):
+        self.src = attach_tcp(src)
+        self.dst = attach_tcp(dst)
+        self.sim = src.sim
+
+    def send(self, size: int) -> ProcessGenerator:
+        """Transmit ``size`` bytes src -> dst, charging both CPUs."""
+        profile = self.src.profile
+        src_server = self.src.server
+        dst_server = self.dst.server
+        # Sender: syscall plus copy into kernel buffers.
+        yield from src_server.cpu.compute(
+            profile.per_message_cpu_us + size / profile.copy_bytes_per_us
+        )
+        # Wire/protocol pipe, sender side.
+        yield self.src.tx.request()
+        try:
+            yield self.sim.timeout(size / profile.bandwidth_bytes_per_us)
+        finally:
+            self.src.tx.release()
+        yield self.sim.timeout(profile.stack_latency_us)
+        # Receiver pipe.
+        yield self.dst.rx.request()
+        try:
+            yield self.sim.timeout(size / self.dst.profile.bandwidth_bytes_per_us)
+        finally:
+            self.dst.rx.release()
+        # Receiver: interrupt handling plus copy out to user space —
+        # this is the remote-CPU involvement RDMA avoids.
+        yield from dst_server.cpu.compute(
+            profile.per_message_cpu_us + size / profile.copy_bytes_per_us
+        )
+        self.src.bytes_sent += size
+        self.dst.bytes_received += size
+        return size

@@ -1,0 +1,391 @@
+"""The lightweight in-memory file API over brokered remote memory.
+
+This is Table 2 of the paper — the abstraction the whole system rests
+on.  A *remote file* is a span of leased memory regions, possibly on
+several memory servers.  Operations:
+
+=============  =========================================================
+Create         obtain leases on MRs covering the file size
+Open           connect queue pairs to every provider server
+Read / Write   translate file offset -> (MR, offset); RDMA read/write
+               through a pre-registered staging buffer
+Close          disconnect from the providers
+Delete         relinquish the leases
+=============  =========================================================
+
+Reads and writes can be waited on synchronously (spin — the paper's
+Custom design), asynchronously (yield + context switch — what stock
+engines do with any I/O), or adaptively (spin briefly, then fall back
+to async — the future-work policy of Section 4.1.3, implemented here as
+an extension).
+
+Failure semantics are *best effort*: if a lease expires, is revoked, or
+the provider dies, accesses raise :class:`RemoteMemoryUnavailable` and
+the caller (e.g. the buffer pool) falls back to disk.  Correctness is
+never affected (Section 4.1.5).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Iterable
+
+from ..broker import Lease, MemoryBroker
+from ..cluster import Server
+from ..sim import Cpu, LatencyRecorder
+from ..sim.kernel import Event, ProcessGenerator
+from .staging import StagingPool
+
+__all__ = [
+    "AccessPolicy",
+    "RemoteFileError",
+    "RemoteMemoryUnavailable",
+    "RemoteFile",
+    "RemoteMemoryFilesystem",
+]
+
+
+class RemoteFileError(RuntimeError):
+    pass
+
+
+class RemoteMemoryUnavailable(RemoteFileError):
+    """The backing lease/provider is gone; caller should fall back."""
+
+
+class AccessPolicy(enum.Enum):
+    #: Spin on the core until the RDMA completion arrives (Custom).
+    SYNC = "sync"
+    #: Treat the transfer as an asynchronous I/O: yield, then pay the
+    #: context switch and re-scheduling penalty on completion.
+    ASYNC = "async"
+    #: Spin up to a threshold, then fall back to async (future work).
+    ADAPTIVE = "adaptive"
+
+
+#: Spin budget for the adaptive policy before yielding the core.
+ADAPTIVE_SPIN_US = 25.0
+
+
+class RemoteFile:
+    """A file materialized over leased remote memory regions."""
+
+    def __init__(
+        self,
+        name: str,
+        owner: Server,
+        leases: list[Lease],
+        staging: StagingPool,
+        policy: AccessPolicy = AccessPolicy.SYNC,
+    ):
+        if not leases:
+            raise RemoteFileError("a remote file needs at least one lease")
+        self.name = name
+        self.owner = owner
+        self.leases = leases
+        self.staging = staging
+        self.policy = policy
+        self.size = sum(lease.region.size for lease in leases)
+        self._offsets: list[int] = []
+        cursor = 0
+        for lease in leases:
+            self._offsets.append(cursor)
+            cursor += lease.region.size
+        self._qps: dict[str, Any] = {}
+        self.is_open = False
+        self.reads = 0
+        self.writes = 0
+        #: Pure transfer latency of reads (RDMA completion time), as a
+        #: hardware/issuing-scheduler view: excludes any wait for a core
+        #: in the simulation's scheduling model.
+        self.io_latency = LatencyRecorder(f"{name}.io")
+
+    # -- lifecycle (Table 2) ----------------------------------------------
+
+    def open(self) -> ProcessGenerator:
+        """Connect an RDMA flow to every provider server."""
+        from ..net.rdma import QueuePair
+
+        for lease in self.leases:
+            provider = lease.region.server
+            if provider.name not in self._qps:
+                # Connection setup: one control round trip per provider.
+                yield from self.owner.nic.send_control(provider.nic)
+                self._qps[provider.name] = QueuePair(self.owner, provider)
+        self.is_open = True
+        return self
+
+    def close(self) -> ProcessGenerator:
+        for qp in self._qps.values():
+            qp.disconnect()
+        self._qps.clear()
+        self.is_open = False
+        yield self.owner.sim.timeout(1.0)
+
+    @property
+    def providers(self) -> list[str]:
+        return sorted({lease.provider for lease in self.leases})
+
+    # -- offset translation -------------------------------------------------
+
+    def _locate(self, offset: int, size: int) -> list[tuple[Lease, int, int]]:
+        """Split [offset, offset+size) into (lease, mr_offset, length)."""
+        if offset < 0 or size < 0 or offset + size > self.size:
+            raise RemoteFileError(
+                f"{self.name}: range [{offset}, {offset + size}) outside file of {self.size}"
+            )
+        segments = []
+        remaining = size
+        cursor = offset
+        index = 0
+        # Find the first lease containing `cursor` (regions are uniform
+        # in practice, but support mixed sizes).
+        while index + 1 < len(self._offsets) and self._offsets[index + 1] <= cursor:
+            index += 1
+        while remaining > 0:
+            lease = self.leases[index]
+            mr_offset = cursor - self._offsets[index]
+            length = min(remaining, lease.region.size - mr_offset)
+            segments.append((lease, mr_offset, length))
+            cursor += length
+            remaining -= length
+            index += 1
+        return segments
+
+    def _check(self, lease: Lease) -> None:
+        if not self.is_open:
+            raise RemoteFileError(f"{self.name}: file is not open")
+        if not lease.is_valid(self.owner.sim.now):
+            raise RemoteMemoryUnavailable(
+                f"{self.name}: lease {lease.lease_id} on {lease.provider} is {lease.state.value}"
+            )
+        qp = self._qps.get(lease.provider)
+        if qp is None or not qp.connected:
+            raise RemoteMemoryUnavailable(f"{self.name}: no connection to {lease.provider}")
+
+    # -- waiting policies ----------------------------------------------------
+
+    def _wait(self, cpu: Cpu, transfer: Event, background: bool = False) -> ProcessGenerator:
+        sim = self.owner.sim
+        if background:
+            # Read-ahead / write-behind I/O: never spin a core for it.
+            return (yield from cpu.async_wait(transfer))
+        if self.policy is AccessPolicy.SYNC:
+            return (yield from cpu.sync_wait(transfer))
+        if self.policy is AccessPolicy.ASYNC:
+            return (yield from cpu.async_wait(transfer))
+        # ADAPTIVE: hold a core for up to the spin budget.
+        yield cpu.cores.request()
+        start = sim.now
+        try:
+            index, _value = yield sim.any_of([transfer, sim.timeout(ADAPTIVE_SPIN_US)])
+        finally:
+            cpu._record_busy(start, sim.now - start)
+            cpu.cores.release()
+        if index == 0:
+            return transfer.value
+        return (yield from cpu.async_wait(transfer))
+
+    # -- data path -------------------------------------------------------------
+
+    def read(self, offset: int, size: int) -> ProcessGenerator:
+        """Byte-faithful read; returns ``bytes`` of length ``size``."""
+        chunks = []
+        for lease, mr_offset, length in self._locate(offset, size):
+            data = yield from self._transfer_read(lease, mr_offset, length, opaque=False)
+            chunks.append(data)
+        self.reads += 1
+        return b"".join(chunks)
+
+    def write(self, offset: int, data: bytes) -> ProcessGenerator:
+        """Byte-faithful write of ``data`` at ``offset``."""
+        cursor = 0
+        for lease, mr_offset, length in self._locate(offset, len(data)):
+            yield from self._transfer_write(
+                lease, mr_offset, length, payload=data[cursor : cursor + length]
+            )
+            cursor += length
+        self.writes += 1
+
+    def read_nodata(self, offset: int, size: int) -> ProcessGenerator:
+        """Timing-only read: full RDMA/staging path, no data movement.
+
+        Used by I/O micro-benchmarks that sweep address spans far larger
+        than host RAM; the engine always uses the byte or object paths.
+        """
+        for lease, mr_offset, length in self._locate(offset, size):
+            yield from self._transfer_read(lease, mr_offset, length, opaque=False, nodata=True)
+        self.reads += 1
+
+    def write_nodata(self, offset: int, size: int) -> ProcessGenerator:
+        """Timing-only write counterpart of :meth:`read_nodata`."""
+        for lease, mr_offset, length in self._locate(offset, size):
+            yield from self._transfer_write(lease, mr_offset, length, nodata=True)
+        self.writes += 1
+
+    def read_object(self, offset: int, size: int, background: bool = False) -> ProcessGenerator:
+        """Opaque read: same timing as :meth:`read`, returns the object.
+
+        ``background=True`` marks read-ahead I/O, which is waited on
+        asynchronously even under the SYNC policy (spinning is reserved
+        for latency-critical demand reads).
+        """
+        segments = self._locate(offset, size)
+        if len(segments) != 1:
+            raise RemoteFileError("object extents must not span memory regions")
+        lease, mr_offset, length = segments[0]
+        value = yield from self._transfer_read(
+            lease, mr_offset, length, opaque=True, background=background
+        )
+        self.reads += 1
+        return value
+
+    def write_object(
+        self, offset: int, size: int, obj: Any, background: bool = False
+    ) -> ProcessGenerator:
+        """Opaque write.  ``background=True`` is fire-and-forget: the
+        call returns once the page is memcpy'd into the staging MR (the
+        source buffer is immediately reusable, Section 4.2); the RDMA
+        write completes asynchronously and releases the staging slots."""
+        segments = self._locate(offset, size)
+        if len(segments) != 1:
+            raise RemoteFileError("object extents must not span memory regions")
+        lease, mr_offset, length = segments[0]
+        yield from self._transfer_write(
+            lease, mr_offset, length, obj=obj, fire_and_forget=background
+        )
+        self.writes += 1
+
+    def _transfer_read(
+        self,
+        lease: Lease,
+        mr_offset: int,
+        length: int,
+        opaque: bool,
+        nodata: bool = False,
+        background: bool = False,
+    ) -> ProcessGenerator:
+        self._check(lease)
+        cpu = self.owner.cpu
+        qp = self._qps[lease.provider]
+        sim = self.owner.sim
+        slots = yield from self.staging.acquire(length)
+        try:
+            transfer = sim.spawn(
+                qp.read(lease.region, mr_offset, length, opaque=opaque, nodata=nodata),
+                name=f"{self.name}.rdma_read",
+            )
+            issued_at = sim.now
+            transfer.add_callback(
+                lambda _e: self.io_latency.record(sim.now - issued_at)
+            )
+            value = yield from self._wait(cpu, transfer, background=background)
+            # Copy from the staging MR into the destination buffer.
+            yield from cpu.compute(self.staging.memcpy_us(length))
+        finally:
+            self.staging.release(slots)
+        return value
+
+    def _transfer_write(
+        self,
+        lease: Lease,
+        mr_offset: int,
+        length: int,
+        payload: bytes | None = None,
+        obj: Any = None,
+        nodata: bool = False,
+        fire_and_forget: bool = False,
+    ) -> ProcessGenerator:
+        self._check(lease)
+        cpu = self.owner.cpu
+        qp = self._qps[lease.provider]
+        sim = self.owner.sim
+        slots = yield from self.staging.acquire(length)
+        released = False
+        try:
+            # Copy the page into the staging MR first; the source buffer
+            # is reusable immediately after the memcpy (Section 4.2).
+            yield from cpu.compute(self.staging.memcpy_us(length))
+            if payload is not None:
+                transfer = sim.spawn(
+                    qp.write(lease.region, mr_offset, payload=payload),
+                    name=f"{self.name}.rdma_write",
+                )
+            else:
+                transfer = sim.spawn(
+                    qp.write(lease.region, mr_offset, size=length, obj=obj, nodata=nodata),
+                    name=f"{self.name}.rdma_write",
+                )
+            if fire_and_forget:
+                # The staging slots stay reserved until the RDMA write
+                # completes; a bounded slot pool throttles runaway
+                # write-behind naturally.
+                released = True
+                transfer.add_callback(lambda _e: self.staging.release(slots))
+                return
+            yield from self._wait(cpu, transfer)
+        finally:
+            if not released:
+                self.staging.release(slots)
+
+
+class RemoteMemoryFilesystem:
+    """Per-database-server factory for remote files (Create/Delete)."""
+
+    def __init__(
+        self,
+        owner: Server,
+        broker: MemoryBroker,
+        staging: StagingPool | None = None,
+        policy: AccessPolicy = AccessPolicy.SYNC,
+    ):
+        self.owner = owner
+        self.broker = broker
+        self.staging = staging if staging is not None else StagingPool(owner)
+        self.policy = policy
+        self.files: dict[str, RemoteFile] = {}
+        broker.revocation_listeners[owner.name] = self._on_revocation
+
+    def initialize(self) -> ProcessGenerator:
+        yield from self.staging.initialize()
+
+    def create(
+        self,
+        name: str,
+        size: int,
+        providers: Iterable[str] | None = None,
+        spread: bool = False,
+    ) -> ProcessGenerator:
+        """Create a file of ``size`` bytes by leasing MRs (Table 2)."""
+        if name in self.files:
+            raise RemoteFileError(f"file {name!r} already exists")
+        leases = yield from self.broker.acquire(
+            self.owner.name, size, providers=providers, spread=spread
+        )
+        file = RemoteFile(name, self.owner, leases, self.staging, self.policy)
+        self.files[name] = file
+        return file
+
+    def delete(self, file: RemoteFile) -> ProcessGenerator:
+        """Relinquish every lease backing the file (Table 2)."""
+        if file.is_open:
+            yield from file.close()
+        for lease in file.leases:
+            yield from self.broker.release(lease)
+        self.files.pop(file.name, None)
+
+    def renewal_daemon(self, file: RemoteFile, period_us: float | None = None):
+        """Keep the file's leases alive; exits when any renewal fails."""
+        period = period_us if period_us is not None else self.broker.lease_duration_us / 2
+        while file.is_open:
+            yield self.owner.sim.timeout(period)
+            for lease in file.leases:
+                ok = yield from self.broker.renew(lease)
+                if not ok:
+                    return False
+        return True
+
+    def _on_revocation(self, lease: Lease) -> None:
+        # Nothing to do eagerly: files discover the revocation on next
+        # access and surface RemoteMemoryUnavailable to the engine.
+        pass

@@ -1,0 +1,36 @@
+"""Discrete-event simulation substrate (virtual clock in microseconds)."""
+
+from .cpu import Cpu
+from .kernel import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    Resource,
+    SimulationError,
+    Simulator,
+    Store,
+    Timeout,
+)
+from .rng import RngRegistry
+from .stats import Counter, LatencyRecorder, TimeSeries, summarize
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Counter",
+    "Cpu",
+    "Event",
+    "Interrupt",
+    "LatencyRecorder",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "TimeSeries",
+    "Timeout",
+    "summarize",
+]

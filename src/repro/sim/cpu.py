@@ -1,0 +1,128 @@
+"""CPU model: cores, context switches, spin-versus-yield I/O waits.
+
+The paper's key scheduling insight (Section 4.1.3) is that a remote
+memory access completes in ~10 µs, which is comparable to the cost of a
+context switch, so treating RDMA as a classic asynchronous I/O wastes
+most of the benefit.  This module gives simulation threads the two
+options the paper contrasts:
+
+* :meth:`Cpu.sync_wait` — keep the core and spin until the transfer
+  completes (the paper's *Custom* design),
+* :meth:`Cpu.async_wait` — yield the core, and on completion pay the
+  context-switch and re-scheduling penalty (what stock SQL Server does
+  for any I/O, including *SMBDirect+RamDrive*).
+"""
+
+from __future__ import annotations
+
+from .kernel import Event, ProcessGenerator, Resource, Simulator
+from .stats import TimeSeries
+
+__all__ = ["Cpu"]
+
+#: Direct cost of a context switch (register/state swap), microseconds.
+CONTEXT_SWITCH_US = 2.0
+#: Extra penalty after switch-in: processor cache pollution plus the lag
+#: between I/O completion and the thread being scheduled back in.
+RESCHEDULE_DELAY_US = 8.0
+
+
+class Cpu:
+    """A server's processor: ``cores`` identical cores with a run queue."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cores: int,
+        name: str = "",
+        context_switch_us: float = CONTEXT_SWITCH_US,
+        reschedule_delay_us: float = RESCHEDULE_DELAY_US,
+    ):
+        self.sim = sim
+        self.cores = Resource(sim, capacity=cores, name=f"{name}.cores")
+        self.name = name
+        self.context_switch_us = context_switch_us
+        self.reschedule_delay_us = reschedule_delay_us
+        self.busy_series: TimeSeries | None = None
+        self.context_switches = 0
+
+    # -- measurement ----------------------------------------------------
+
+    def track_utilization(self, bucket_us: float = 1e6) -> TimeSeries:
+        """Start bucketing busy core-microseconds for drill-down figures."""
+        self.busy_series = TimeSeries(bucket_us, name=f"{self.name}.busy_us")
+        return self.busy_series
+
+    def _record_busy(self, start_us: float, duration: float) -> None:
+        if self.busy_series is None or duration <= 0:
+            return
+        # Split the busy interval across buckets so long computations do
+        # not all land in the bucket where they finish.
+        series = self.busy_series
+        remaining = duration
+        cursor = start_us
+        while remaining > 0:
+            bucket_end = (int(cursor // series.bucket_us) + 1) * series.bucket_us
+            chunk = min(remaining, bucket_end - cursor)
+            series.add(cursor, chunk)
+            cursor += chunk
+            remaining -= chunk
+
+    def utilization(self, since: float = 0.0) -> float:
+        return self.cores.utilization(since)
+
+    # -- execution primitives -------------------------------------------
+
+    def compute(self, duration_us: float) -> ProcessGenerator:
+        """Occupy one core for ``duration_us`` of pure computation."""
+        if duration_us <= 0:
+            return
+        yield self.cores.request()
+        start = self.sim.now
+        try:
+            yield self.sim.timeout(duration_us)
+        finally:
+            self._record_busy(start, self.sim.now - start)
+            self.cores.release()
+
+    def sync_wait(self, event: Event) -> ProcessGenerator:
+        """Spin on a core until ``event`` fires (no context switch).
+
+        The core is *busy* for the whole wait — this is what makes the
+        synchronous model cheap in latency but expensive in CPU, exactly
+        the trade-off in Section 4.1.3.
+        """
+        yield self.cores.request()
+        start = self.sim.now
+        try:
+            yield event
+        finally:
+            self._record_busy(start, self.sim.now - start)
+            self.cores.release()
+        return event.value
+
+    def async_wait(self, event: Event) -> ProcessGenerator:
+        """Yield the core, wait for ``event``, pay the switch-in penalty."""
+        yield event
+        self.context_switches += 1
+        yield self.sim.timeout(self.reschedule_delay_us)
+        # Switch-in consumes a slice of CPU (and may queue behind others).
+        yield self.cores.request()
+        start = self.sim.now
+        try:
+            yield self.sim.timeout(self.context_switch_us)
+        finally:
+            self._record_busy(start, self.sim.now - start)
+            self.cores.release()
+        return event.value
+
+    def background_load(self, per_event_us: float, event_stream_period_us: float):
+        """Generator simulating kernel work (e.g. TCP interrupt handling).
+
+        Spawn with ``sim.spawn`` to steal ``per_event_us`` of CPU every
+        ``event_stream_period_us``; used to model protocol processing on
+        the remote server.
+        """
+        while True:
+            yield self.sim.timeout(event_stream_period_us)
+            yield from self.compute(per_event_us)

@@ -1,0 +1,441 @@
+"""Discrete-event simulation kernel.
+
+Everything in this reproduction runs on virtual time measured in
+*microseconds*.  The kernel is a small, SimPy-flavoured engine:
+
+* a :class:`Simulator` owns the virtual clock and the event heap,
+* a :class:`Process` wraps a generator that ``yield``\\ s :class:`Event`
+  objects and is resumed when they fire,
+* a :class:`Resource` models a server with fixed capacity and a FIFO
+  queue (a disk spindle, a NIC DMA engine, a CPU core, ...).
+
+The kernel is deterministic: events scheduled for the same instant fire
+in scheduling order, so simulations are exactly reproducible for a
+given RNG seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Resource",
+    "Store",
+    "Simulator",
+    "SimulationError",
+]
+
+#: Type alias for the generator coroutines driven by the kernel.
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double-trigger, yield of a non-event, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*, becomes *triggered* once :meth:`succeed`
+    or :meth:`fail` is called, and all registered callbacks run at the
+    simulation instant it fires.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def ok(self) -> bool:
+        return self._triggered and self._exception is None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._push_triggered(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception delivered to waiters."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._exception = exception
+        self.sim._push_triggered(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self._processed:
+            # Late subscription: run at the current instant.
+            self.sim.call_soon(lambda: callback(self))
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` microseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        self._triggered = True  # scheduled immediately; fires at now+delay
+        sim._schedule_at(sim.now + delay, self)
+
+
+class Process(Event):
+    """A running coroutine; as an event, fires when the coroutine returns."""
+
+    __slots__ = ("generator", "name", "_target", "_interrupts")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = ""):
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        self._interrupts: deque[Interrupt] = deque()
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if not self.is_alive:
+            return
+        self._interrupts.append(Interrupt(cause))
+        target = self._target
+        if target is not None and not target._processed:
+            # Detach from the event we were waiting on and wake up now.
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._target = None
+            wake = Event(self.sim)
+            wake.callbacks.append(self._resume)
+            wake.succeed()
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return
+        self._target = None
+        try:
+            if self._interrupts:
+                step = self.generator.throw(self._interrupts.popleft())
+            elif event._exception is not None:
+                step = self.generator.throw(event._exception)
+            else:
+                step = self.generator.send(event._value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Interrupt:
+            # Process chose not to handle the interrupt: dies silently.
+            self._finish(None)
+            return
+        if not isinstance(step, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(step).__name__}, expected Event"
+            )
+        if self._interrupts:
+            # An interrupt arrived while we were stepping: wake immediately.
+            wake = Event(self.sim)
+            wake.callbacks.append(self._resume)
+            wake.succeed()
+            return
+        self._target = step
+        step.add_callback(self._resume)
+
+    def _finish(self, value: Any) -> None:
+        self._triggered = True
+        self._value = value
+        self.sim._push_triggered(self)
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is the list of values."""
+
+    __slots__ = ("_pending", "_events")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._pending = len(self._events)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for event in self._events:
+            event.add_callback(self._child_done)
+
+    def _child_done(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([e._value for e in self._events])
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires; value is (index, value)."""
+
+    __slots__ = ("_events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        if not self._events:
+            raise SimulationError("AnyOf needs at least one event")
+        for index, event in enumerate(self._events):
+            event.add_callback(lambda e, i=index: self._child_done(i, e))
+
+    def _child_done(self, index: int, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exception is not None:
+            self.fail(event._exception)
+        else:
+            self.succeed((index, event._value))
+
+
+class _Request(Event):
+    __slots__ = ("resource", "amount")
+
+    def __init__(self, sim: "Simulator", resource: "Resource", amount: int):
+        super().__init__(sim)
+        self.resource = resource
+        self.amount = amount
+
+
+class Resource:
+    """Capacity-limited server with a FIFO wait queue.
+
+    ``request()`` returns an event that fires when capacity is granted;
+    the holder must call ``release()`` exactly once per grant.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._queue: deque[_Request] = deque()
+        # Busy-time accounting for utilization reporting.
+        self._busy_area = 0.0
+        self._last_change = sim.now
+
+    def request(self, amount: int = 1) -> Event:
+        if amount > self.capacity:
+            raise SimulationError("request exceeds resource capacity")
+        req = _Request(self.sim, self, amount)
+        self._queue.append(req)
+        self._grant()
+        return req
+
+    def release(self, amount: int = 1) -> None:
+        self._account()
+        self.in_use -= amount
+        if self.in_use < 0:
+            raise SimulationError(f"resource {self.name!r} over-released")
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._queue and self.in_use + self._queue[0].amount <= self.capacity:
+            req = self._queue.popleft()
+            self._account()
+            self.in_use += req.amount
+            req.succeed()
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_area += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Mean fraction of capacity in use between ``since`` and now."""
+        self._account()
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_area / (elapsed * self.capacity)
+
+    def acquire(self, amount: int = 1) -> ProcessGenerator:
+        """``yield from`` helper: waits for the grant."""
+        yield self.request(amount)
+
+    def use(self, duration: float, amount: int = 1) -> ProcessGenerator:
+        """Hold ``amount`` units for ``duration`` microseconds."""
+        yield self.request(amount)
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release(amount)
+
+
+class Store:
+    """An unbounded FIFO channel of items between processes."""
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Simulator:
+    """Owns the virtual clock (microseconds) and runs the event loop."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._running = False
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule_at(self, when: float, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, event))
+
+    def _push_triggered(self, event: Event) -> None:
+        self._schedule_at(self.now, event)
+
+    def call_soon(self, fn: Callable[[], None]) -> None:
+        event = Event(self)
+        event.callbacks.append(lambda _e: fn())
+        event.succeed()
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def spawn(self, generator: ProcessGenerator, name: str = "") -> Process:
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def resource(self, capacity: int = 1, name: str = "") -> Resource:
+        return Resource(self, capacity, name)
+
+    def store(self, name: str = "") -> Store:
+        return Store(self, name)
+
+    # -- main loop -------------------------------------------------------
+
+    def step(self) -> None:
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("time ran backwards")
+        self.now = when
+        event._processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or the clock passes ``until``."""
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    self.now = until
+                    return
+                self.step()
+            if until is not None and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+
+    def run_until_complete(self, process: Process, limit: float = 1e15) -> Any:
+        """Run until ``process`` finishes and return its value."""
+        while not process.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: process {process.name!r} cannot complete"
+                )
+            if self._heap[0][0] > limit:
+                raise SimulationError(f"process {process.name!r} exceeded time limit")
+            self.step()
+        return process.value

@@ -1,0 +1,37 @@
+"""Deterministic named random streams.
+
+Every stochastic component (disk seek jitter, workload key choice, ...)
+draws from its own named stream so that adding a new consumer never
+perturbs the draws seen by existing ones.  Streams are derived from a
+single experiment seed with stable hashing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["RngRegistry"]
+
+
+class RngRegistry:
+    """Hands out independent ``numpy`` generators keyed by name."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the stream for ``name``."""
+        generator = self._streams.get(name)
+        if generator is None:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            child_seed = int.from_bytes(digest[:8], "little")
+            generator = np.random.default_rng(child_seed)
+            self._streams[name] = generator
+        return generator
+
+    def reset(self) -> None:
+        """Forget all streams; next use re-derives them from the seed."""
+        self._streams.clear()

@@ -1,0 +1,42 @@
+"""Workloads: SQLIO micro-bench, RangeScan, Hash+Sort, TPC-H/DS/C-like."""
+
+from .analytics import QuerySpec, StreamReport, improvement_histogram, run_query_streams
+from .hashsort import (
+    HashSortConfig,
+    HashSortReport,
+    build_hashsort_tables,
+    hashsort_plan,
+    run_hashsort,
+)
+from .rangescan import (
+    CUSTOMER_SCHEMA,
+    RangeScanConfig,
+    RangeScanReport,
+    build_customer_table,
+    run_rangescan,
+)
+from .sqlio import RANDOM_8K, SEQUENTIAL_512K, SqlioPattern, SqlioResult, run_sqlio
+from .tpcc import (
+    DEFAULT_MIX,
+    READ_MOSTLY_MIX,
+    TpccConfig,
+    TpccReport,
+    TpccScale,
+    build_tpcc_database,
+    run_tpcc,
+)
+from .tpcds import TPCDS_QUERIES, TpcdsScale, build_tpcds_database, tpcds_query_specs
+from .tpch import TPCH_QUERIES, TpchScale, build_tpch_database, tpch_query_specs
+
+__all__ = [
+    "CUSTOMER_SCHEMA", "DEFAULT_MIX", "HashSortConfig", "HashSortReport",
+    "QuerySpec", "RANDOM_8K", "READ_MOSTLY_MIX", "RangeScanConfig",
+    "RangeScanReport", "SEQUENTIAL_512K", "SqlioPattern", "SqlioResult",
+    "StreamReport", "TPCDS_QUERIES", "TPCH_QUERIES", "TpccConfig",
+    "TpccReport", "TpccScale", "TpcdsScale", "TpchScale",
+    "build_customer_table", "build_hashsort_tables", "build_tpcc_database",
+    "build_tpcds_database", "build_tpch_database", "hashsort_plan",
+    "improvement_histogram", "run_hashsort", "run_query_streams",
+    "run_rangescan", "run_sqlio", "run_tpcc", "tpcds_query_specs",
+    "tpch_query_specs",
+]

@@ -1,0 +1,187 @@
+"""The RangeScan micro-benchmark (Section 5.2.1, Figures 7-12, 16, 24).
+
+Short queries over a synthetic Customer table (TPC-H Customer schema,
+~245-byte rows, clustered index on ``custkey``):
+
+    SELECT sum(acctbal) FROM customer
+    WHERE custkey >= @start AND custkey < @start + @range
+
+A read-only variant aggregates; an update variant bumps the balances in
+the range.  ``@start`` comes from a uniform distribution (BPExt churn)
+or a hotspot distribution (priming experiments: 99 % of queries hit
+20 % of the keys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..engine import Column, Database, Schema, Table
+from ..engine.costs import PER_ROW_AGG_CPU_US
+from ..sim import LatencyRecorder
+from ..sim.kernel import AllOf, ProcessGenerator
+
+__all__ = [
+    "CUSTOMER_SCHEMA",
+    "RangeScanConfig",
+    "RangeScanReport",
+    "build_customer_table",
+    "launch_rangescan",
+    "run_rangescan",
+]
+
+#: TPC-H Customer schema; widths sum to ~245 bytes (paper Section 5.2.1).
+CUSTOMER_SCHEMA = Schema(
+    columns=(
+        Column("custkey", "int", 8),
+        Column("name", "str", 25),
+        Column("address", "str", 40),
+        Column("nationkey", "int", 8),
+        Column("phone", "str", 15),
+        Column("acctbal", "float", 8),
+        Column("mktsegment", "str", 10),
+        Column("comment", "str", 123),
+    ),
+    key="custkey",
+)
+
+
+def build_customer_table(db: Database, n_rows: int) -> Table:
+    """Create and load the synthetic Customer table."""
+    rows = [
+        (key, f"Customer#{key:09d}", f"Addr{key}", key % 25, f"{key % 100:02d}-555",
+         float(1000 + key % 9000), "BUILDING", "c" * 8)
+        for key in range(n_rows)
+    ]
+    return db.create_table("customer", CUSTOMER_SCHEMA, rows)
+
+
+@dataclass
+class RangeScanConfig:
+    n_rows: int = 50_000
+    workers: int = 80
+    queries_per_worker: int = 50
+    range_size: int = 100
+    update_fraction: float = 0.0
+    distribution: str = "uniform"  # "uniform" | "hotspot"
+    hotspot_fraction: float = 0.2  # of the key space ...
+    hotspot_probability: float = 0.99  # ... absorbs this share of queries
+    seed: int = 0
+
+
+@dataclass
+class RangeScanReport:
+    queries: int = 0
+    elapsed_us: float = 0.0
+    latency: LatencyRecorder = field(default_factory=lambda: LatencyRecorder("rangescan"))
+    update_latency: LatencyRecorder = field(
+        default_factory=lambda: LatencyRecorder("rangescan.update")
+    )
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.queries / (self.elapsed_us / 1e6) if self.elapsed_us > 0 else 0.0
+
+
+def _start_keys(config: RangeScanConfig, rng: np.random.Generator, count: int) -> np.ndarray:
+    top = max(1, config.n_rows - config.range_size)
+    if config.distribution == "uniform":
+        return rng.integers(0, top, size=count)
+    hot_top = max(1, int(top * config.hotspot_fraction))
+    hot = rng.random(count) < config.hotspot_probability
+    keys = rng.integers(0, top, size=count)
+    keys[hot] = rng.integers(0, hot_top, size=int(hot.sum()))
+    return keys
+
+
+def _read_query(db: Database, table: Table, start_key: int, range_size: int) -> ProcessGenerator:
+    """Seek + scan + SUM(acctbal)."""
+    rows = yield from table.clustered.range_scan(start_key, start_key + range_size)
+    yield from db.server.cpu.compute(len(rows) * PER_ROW_AGG_CPU_US)
+    balance_index = table.schema.index_of("acctbal")
+    return sum(row[balance_index] for row in rows)
+
+
+def _update_query(db: Database, table: Table, start_key: int, range_size: int) -> ProcessGenerator:
+    """UPDATE acctbal over the range: log + mutate leaves + commit."""
+    from ..engine.wal import LogRecordKind
+
+    tree = table.clustered
+    balance_index = table.schema.index_of("acctbal")
+    leaf = yield from tree._descend(start_key)
+    high = start_key + range_size
+    touched = 0
+    record = yield from db.wal.log_update(table.name, start_key, None, LogRecordKind.UPDATE)
+    while leaf is not None:
+        changed = False
+        for index, row in enumerate(leaf.rows):
+            key = tree.key_fn(row)
+            if start_key <= key < high:
+                new_row = list(row)
+                new_row[balance_index] = row[balance_index] + 1.0
+                leaf.rows[index] = tuple(new_row)
+                changed = True
+                touched += 1
+        if changed:
+            yield from db.pool.mark_dirty(leaf, lsn=record.lsn)
+        if leaf.rows and tree.key_fn(leaf.rows[-1]) >= high:
+            break
+        next_no = leaf.meta.get("next")
+        if next_no is None:
+            break
+        leaf = yield from db.pool.get_page(tree.store.file_id, next_no)
+    yield from db.wal.log_update(table.name, start_key, None, LogRecordKind.COMMIT)
+    return touched
+
+
+def launch_rangescan(db: Database, table: Table, config: RangeScanConfig,
+                     rng: np.random.Generator | None = None):
+    """Spawn the workload without blocking; returns (processes, finalize).
+
+    Lets several database servers run RangeScan concurrently against a
+    shared memory server (Figure 25)."""
+    sim = db.sim
+    rng = rng if rng is not None else np.random.default_rng(config.seed)
+    total = config.workers * config.queries_per_worker
+    starts = _start_keys(config, rng, total)
+    updates = rng.random(total) < config.update_fraction
+    report = RangeScanReport()
+    begin = sim.now
+
+    def worker(worker_index: int) -> ProcessGenerator:
+        base = worker_index * config.queries_per_worker
+        for query_index in range(config.queries_per_worker):
+            position = base + query_index
+            start_key = int(starts[position])
+            query_begin = sim.now
+            yield from db.server.cpu.compute(db.query_setup_cpu_us)
+            if updates[position]:
+                yield from _update_query(db, table, start_key, config.range_size)
+                report.update_latency.record(sim.now - query_begin)
+            else:
+                yield from _read_query(db, table, start_key, config.range_size)
+            report.latency.record(sim.now - query_begin)
+            report.queries += 1
+
+    processes = [sim.spawn(worker(index)) for index in range(config.workers)]
+
+    def finalize() -> RangeScanReport:
+        report.elapsed_us = sim.now - begin
+        return report
+
+    return processes, finalize
+
+
+def run_rangescan(db: Database, table: Table, config: RangeScanConfig,
+                  rng: np.random.Generator | None = None) -> RangeScanReport:
+    """Drive the workload to completion; returns the report."""
+    processes, finalize = launch_rangescan(db, table, config, rng=rng)
+    sim = db.sim
+    sim.run_until_complete(sim.spawn(_await_all(sim, processes)))
+    return finalize()
+
+
+def _await_all(sim, processes) -> ProcessGenerator:
+    yield AllOf(sim, processes)

@@ -1,0 +1,135 @@
+"""SQLIO-style I/O micro-benchmark (Section 6.1, Figures 3-6).
+
+The paper measures native I/O subsystem performance with SQLIO:
+
+* random reads: 20 threads issuing 8 KB requests at uniform offsets,
+* sequential reads: 5 threads streaming 512 KB blocks.
+
+``run_sqlio`` drives any *target* that exposes ``read(offset, size)``
+(and optionally ``write``) as a ``yield from``-able generator: block
+devices, SMB clients and remote files all qualify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim import LatencyRecorder, Simulator
+from ..storage import GB, KB
+
+__all__ = ["SqlioPattern", "SqlioResult", "run_sqlio", "launch_sqlio", "RANDOM_8K", "SEQUENTIAL_512K"]
+
+
+@dataclass(frozen=True)
+class SqlioPattern:
+    """One SQLIO configuration."""
+
+    name: str
+    threads: int
+    io_bytes: int
+    random: bool
+    ops_per_thread: int = 200
+
+
+#: The two patterns of Figures 3 and 4.
+RANDOM_8K = SqlioPattern(name="8K Random", threads=20, io_bytes=8 * KB, random=True)
+SEQUENTIAL_512K = SqlioPattern(
+    name="512K Sequential", threads=5, io_bytes=512 * KB, random=False
+)
+
+
+@dataclass
+class SqlioResult:
+    pattern: SqlioPattern
+    elapsed_us: float
+    total_bytes: int
+    latency: LatencyRecorder
+
+    @property
+    def throughput_gb_per_s(self) -> float:
+        if self.elapsed_us <= 0:
+            return 0.0
+        return (self.total_bytes / GB) / (self.elapsed_us / 1e6)
+
+    @property
+    def mean_latency_us(self) -> float:
+        return self.latency.mean
+
+
+def launch_sqlio(
+    sim: Simulator,
+    target,
+    pattern: SqlioPattern,
+    span_bytes: int = 64 * GB,
+    rng: np.random.Generator | None = None,
+    write: bool = False,
+):
+    """Spawn the workload without blocking; returns (processes, finalize).
+
+    ``finalize()`` must be called after the processes complete; it
+    returns the :class:`SqlioResult`.  Used to drive several targets
+    concurrently (Figures 6 and 25).
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    latency = LatencyRecorder(pattern.name)
+    totals = {"bytes": 0}
+    start = sim.now
+    io_count = pattern.threads * pattern.ops_per_thread
+    if pattern.random:
+        max_slot = max(1, span_bytes // pattern.io_bytes)
+        offsets = rng.integers(0, max_slot, size=io_count) * pattern.io_bytes
+    else:
+        offsets = None
+
+    def worker(thread_index: int):
+        slice_bytes = span_bytes // pattern.threads
+        base = thread_index * slice_bytes
+        for op_index in range(pattern.ops_per_thread):
+            if pattern.random:
+                offset = int(offsets[thread_index * pattern.ops_per_thread + op_index])
+            else:
+                offset = base + (op_index * pattern.io_bytes) % max(
+                    pattern.io_bytes, slice_bytes - pattern.io_bytes
+                )
+            begin = sim.now
+            if write:
+                yield from target.write(offset, pattern.io_bytes)
+            else:
+                yield from target.read(offset, pattern.io_bytes)
+            latency.record(sim.now - begin)
+            totals["bytes"] += pattern.io_bytes
+
+    processes = [sim.spawn(worker(index)) for index in range(pattern.threads)]
+
+    def finalize() -> SqlioResult:
+        return SqlioResult(
+            pattern=pattern,
+            elapsed_us=sim.now - start,
+            total_bytes=totals["bytes"],
+            latency=latency,
+        )
+
+    return processes, finalize
+
+
+def run_sqlio(
+    sim: Simulator,
+    target,
+    pattern: SqlioPattern,
+    span_bytes: int = 64 * GB,
+    rng: np.random.Generator | None = None,
+    write: bool = False,
+) -> SqlioResult:
+    """Run one SQLIO pattern to completion and return the measurements.
+
+    ``span_bytes`` is the addressable range; random offsets are uniform
+    over it, sequential threads stream disjoint contiguous slices.
+    """
+    processes, finalize = launch_sqlio(
+        sim, target, pattern, span_bytes=span_bytes, rng=rng, write=write
+    )
+    for process in processes:
+        sim.run_until_complete(process)
+    return finalize()

@@ -1,0 +1,379 @@
+"""TPC-C-like OLTP workload (Appendix B.1, Figures 22/23).
+
+Five transaction types over the classic warehouse schema.  Two mixes:
+
+* **Default** — the standard mix (45 % NewOrder, 43 % Payment, 4 %
+  each of the rest).  Its working set is the *recent* orders plus
+  NURand-hot stock/items, which fits local memory and keeps shifting —
+  the case where remote memory does **not** help (Figure 22, left).
+* **Read-mostly** — 90 % StockLevel, which walks historical order lines
+  and does uniform stock checks: a working set far larger than local
+  memory, where remote memory pays off (Figure 22, right).
+
+Write transactions take a per-district lock across their read-modify-
+write + commit, so contention scales with concurrency the way the
+paper's latency discussion describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..engine import Column, Database, Schema, Table
+from ..engine.wal import LogRecordKind
+from ..sim import LatencyRecorder, Resource
+from ..sim.kernel import AllOf, ProcessGenerator
+
+__all__ = [
+    "TpccScale",
+    "TpccConfig",
+    "TpccReport",
+    "build_tpcc_database",
+    "run_tpcc",
+    "DEFAULT_MIX",
+    "READ_MOSTLY_MIX",
+]
+
+WAREHOUSE = Schema(
+    columns=(Column("w_id", "int", 8), Column("ytd", "float", 8), Column("pad", "str", 80)),
+    key="w_id",
+)
+DISTRICT = Schema(
+    columns=(
+        Column("d_key", "int", 8), Column("next_o_id", "int", 8),
+        Column("ytd", "float", 8), Column("pad", "str", 80),
+    ),
+    key="d_key",
+)
+CUSTOMER = Schema(
+    columns=(
+        Column("c_key", "int", 8), Column("balance", "float", 8),
+        Column("payment_cnt", "int", 8), Column("pad", "str", 220),
+    ),
+    key="c_key",
+)
+STOCK = Schema(
+    columns=(
+        Column("s_key", "int", 8), Column("quantity", "int", 8),
+        Column("ytd", "int", 8), Column("pad", "str", 180),
+    ),
+    key="s_key",
+)
+ORDERS = Schema(
+    columns=(
+        Column("o_key", "int", 8), Column("c_key", "int", 8),
+        Column("entry_d", "int", 8), Column("carrier", "int", 8),
+        Column("pad", "str", 60),
+    ),
+    key="o_key",
+)
+ORDER_LINE = Schema(
+    columns=(
+        Column("ol_key", "int", 8), Column("o_key", "int", 8),
+        Column("item", "int", 8), Column("amount", "float", 8),
+        Column("pad", "str", 80),
+    ),
+    key="ol_key",
+)
+
+DISTRICTS_PER_WAREHOUSE = 10
+CUSTOMERS_PER_DISTRICT = 30
+
+
+@dataclass(frozen=True)
+class TpccScale:
+    warehouses: int = 20
+    items: int = 600
+    #: Pre-loaded historical orders per district (order-line history is
+    #: the bulk of the database, as at full TPC-C scale).
+    history_orders: int = 250
+
+    @property
+    def districts(self) -> int:
+        return self.warehouses * DISTRICTS_PER_WAREHOUSE
+
+    @property
+    def customers(self) -> int:
+        return self.districts * CUSTOMERS_PER_DISTRICT
+
+    @property
+    def stock_rows(self) -> int:
+        return self.warehouses * self.items
+
+
+#: Transaction mixes: (new_order, payment, order_status, delivery, stock_level).
+DEFAULT_MIX = {"new_order": 0.45, "payment": 0.43, "order_status": 0.04,
+               "delivery": 0.04, "stock_level": 0.04}
+READ_MOSTLY_MIX = {"new_order": 0.04, "payment": 0.04, "order_status": 0.01,
+                   "delivery": 0.01, "stock_level": 0.90}
+
+
+@dataclass
+class TpccConfig:
+    scale: TpccScale = field(default_factory=TpccScale)
+    workers: int = 100
+    transactions_per_worker: int = 30
+    mix: dict = field(default_factory=lambda: dict(DEFAULT_MIX))
+    #: Fraction of item picks drawn from the hot set (NURand-like skew).
+    hot_item_fraction: float = 0.9
+    hot_item_share: float = 0.04
+    seed: int = 0
+
+
+@dataclass
+class TpccReport:
+    transactions: int = 0
+    elapsed_us: float = 0.0
+    latency: LatencyRecorder = field(default_factory=lambda: LatencyRecorder("tpcc"))
+
+    @property
+    def throughput_tps(self) -> float:
+        return self.transactions / (self.elapsed_us / 1e6) if self.elapsed_us else 0.0
+
+
+class TpccState:
+    """Tables plus the runtime bookkeeping the transactions need."""
+
+    def __init__(self, db: Database, scale: TpccScale):
+        self.db = db
+        self.scale = scale
+        self.warehouse: Table = None  # type: ignore[assignment]
+        self.district: Table = None  # type: ignore[assignment]
+        self.customer: Table = None  # type: ignore[assignment]
+        self.stock: Table = None  # type: ignore[assignment]
+        self.orders: Table = None  # type: ignore[assignment]
+        self.order_line: Table = None  # type: ignore[assignment]
+        self.next_order_id = 0
+        self.next_line_id = 0
+        #: Oldest undelivered order per district.
+        self.undelivered: dict[int, list[int]] = {}
+        #: o_key -> (district, [ol_keys]) for status/stock-level walks.
+        self.order_lines_of: dict[int, list[int]] = {}
+        self.recent_orders: dict[int, list[int]] = {}
+        self.district_locks: dict[int, Resource] = {}
+
+
+def build_tpcc_database(db: Database, scale: TpccScale = TpccScale(), seed: int = 0) -> TpccState:
+    rng = np.random.default_rng(seed)
+    state = TpccState(db, scale)
+    state.warehouse = db.create_table(
+        "warehouse", WAREHOUSE, [(w, 0.0, "w") for w in range(scale.warehouses)]
+    )
+    state.district = db.create_table(
+        "district", DISTRICT,
+        [(d, scale.history_orders, 0.0, "d") for d in range(scale.districts)],
+    )
+    state.customer = db.create_table(
+        "customer", CUSTOMER,
+        [(c, 100.0, 0, "c") for c in range(scale.customers)],
+    )
+    state.stock = db.create_table(
+        "stock", STOCK,
+        [(s, 50 + s % 50, 0, "s") for s in range(scale.stock_rows)],
+    )
+    orders = []
+    lines = []
+    for district in range(scale.districts):
+        state.recent_orders[district] = []
+        state.undelivered[district] = []
+        for slot in range(scale.history_orders):
+            o_key = state.next_order_id
+            state.next_order_id += 1
+            customer = district * CUSTOMERS_PER_DISTRICT + int(
+                rng.integers(0, CUSTOMERS_PER_DISTRICT)
+            )
+            orders.append((o_key, customer, slot, 1, "o"))
+            ol_keys = []
+            for _line in range(int(rng.integers(5, 16))):
+                ol_key = state.next_line_id
+                state.next_line_id += 1
+                lines.append(
+                    (ol_key, o_key, int(rng.integers(0, scale.items)),
+                     float(rng.integers(100, 10_000)) / 100.0, "l")
+                )
+                ol_keys.append(ol_key)
+            state.order_lines_of[o_key] = ol_keys
+            state.recent_orders[district].append(o_key)
+            state.recent_orders[district] = state.recent_orders[district][-25:]
+    state.orders = db.create_table("orders", ORDERS, orders)
+    state.order_line = db.create_table("order_line", ORDER_LINE, lines)
+    for district in range(scale.districts):
+        state.district_locks[district] = Resource(
+            db.sim, capacity=1, name=f"district.{district}"
+        )
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Transactions
+# ---------------------------------------------------------------------------
+
+def _pick_item(state: TpccState, rng, config: TpccConfig) -> int:
+    """NURand-like skew: most picks come from a small hot set."""
+    if rng.random() < config.hot_item_fraction:
+        return int(rng.integers(0, max(1, int(state.scale.items * config.hot_item_share))))
+    return int(rng.integers(0, state.scale.items))
+
+
+def new_order(state: TpccState, rng, config: TpccConfig, district: int) -> ProcessGenerator:
+    db = state.db
+    lock = state.district_locks[district]
+    yield lock.request()
+    try:
+        rows = yield from state.district.clustered.search(district)
+        record = yield from db.wal.log_update("district", district, None, LogRecordKind.UPDATE)
+        yield from state.district.clustered.update_where(
+            district, lambda row: (row[0], row[1] + 1, row[2], row[3]), lsn=record.lsn
+        )
+        o_key = state.next_order_id
+        state.next_order_id += 1
+        customer = district * CUSTOMERS_PER_DISTRICT + int(
+            rng.integers(0, CUSTOMERS_PER_DISTRICT)
+        )
+        yield from state.orders.clustered.insert((o_key, customer, 0, 0, "o"))
+        warehouse = district // DISTRICTS_PER_WAREHOUSE
+        ol_keys = []
+        for _line in range(int(rng.integers(5, 16))):
+            item = _pick_item(state, rng, config)
+            stock_key = warehouse * state.scale.items + item
+            yield from state.stock.clustered.update_where(
+                stock_key,
+                lambda row: (row[0], max(10, row[1] - 1), row[2] + 1, row[3]),
+                lsn=record.lsn,
+            )
+            ol_key = state.next_line_id
+            state.next_line_id += 1
+            yield from state.order_line.clustered.insert(
+                (ol_key, o_key, item, 9.99, "l"), lsn=record.lsn
+            )
+            ol_keys.append(ol_key)
+        state.order_lines_of[o_key] = ol_keys
+        state.recent_orders[district].append(o_key)
+        state.recent_orders[district] = state.recent_orders[district][-25:]
+        state.undelivered[district].append(o_key)
+        yield from db.wal.log_update("district", district, None, LogRecordKind.COMMIT)
+    finally:
+        lock.release()
+
+
+def payment(state: TpccState, rng, config: TpccConfig, district: int) -> ProcessGenerator:
+    db = state.db
+    lock = state.district_locks[district]
+    yield lock.request()
+    try:
+        record = yield from db.wal.log_update("district", district, None, LogRecordKind.UPDATE)
+        warehouse = district // DISTRICTS_PER_WAREHOUSE
+        yield from state.warehouse.clustered.update_where(
+            warehouse, lambda row: (row[0], row[1] + 10.0, row[2]), lsn=record.lsn
+        )
+        yield from state.district.clustered.update_where(
+            district, lambda row: (row[0], row[1], row[2] + 10.0, row[3]), lsn=record.lsn
+        )
+        customer = district * CUSTOMERS_PER_DISTRICT + int(
+            rng.integers(0, CUSTOMERS_PER_DISTRICT)
+        )
+        yield from state.customer.clustered.update_where(
+            customer,
+            lambda row: (row[0], row[1] - 10.0, row[2] + 1, row[3]),
+            lsn=record.lsn,
+        )
+        yield from db.wal.log_update("district", district, None, LogRecordKind.COMMIT)
+    finally:
+        lock.release()
+
+
+def order_status(state: TpccState, rng, config: TpccConfig, district: int) -> ProcessGenerator:
+    customer = district * CUSTOMERS_PER_DISTRICT + int(rng.integers(0, CUSTOMERS_PER_DISTRICT))
+    yield from state.customer.clustered.search(customer)
+    recent = state.recent_orders.get(district) or [0]
+    o_key = recent[-1]
+    yield from state.orders.clustered.search(o_key)
+    for ol_key in state.order_lines_of.get(o_key, [])[:5]:
+        yield from state.order_line.clustered.search(ol_key)
+
+
+def delivery(state: TpccState, rng, config: TpccConfig, district: int) -> ProcessGenerator:
+    db = state.db
+    lock = state.district_locks[district]
+    yield lock.request()
+    try:
+        queue = state.undelivered.get(district)
+        if not queue:
+            return
+        o_key = queue.pop(0)
+        record = yield from db.wal.log_update("orders", o_key, None, LogRecordKind.UPDATE)
+        yield from state.orders.clustered.update_where(
+            o_key, lambda row: (row[0], row[1], row[2], 7, row[4]), lsn=record.lsn
+        )
+        yield from db.wal.log_update("orders", o_key, None, LogRecordKind.COMMIT)
+    finally:
+        lock.release()
+
+
+def stock_level(state: TpccState, rng, config: TpccConfig, district: int) -> ProcessGenerator:
+    """Threshold check over historical order lines + uniform stock reads.
+
+    Walks a window of *old* order lines (the paper: the read-mostly mix
+    "also accesses the old data, accessing more database pages") and
+    checks the stock rows of the items found — a working set spanning
+    the whole stock and order-line history.
+    """
+    warehouse = district // DISTRICTS_PER_WAREHOUSE
+    window = 200
+    top = max(1, state.next_line_id - window)
+    # Recency-skewed: stock checks concentrate on newer history, so the
+    # working set is bounded (~a third of the order-line history) and
+    # extension-sized memory covers most of it.
+    age = int(rng.exponential(scale=0.12 * state.next_line_id))
+    start = max(0, top - 1 - age)
+    lines = yield from state.order_line.clustered.range_scan(start, start + window)
+    items = {line[2] for line in lines[:60]}
+    for item in items:
+        stock_key = warehouse * state.scale.items + item
+        yield from state.stock.clustered.search(stock_key)
+
+
+_TRANSACTIONS = {
+    "new_order": new_order,
+    "payment": payment,
+    "order_status": order_status,
+    "delivery": delivery,
+    "stock_level": stock_level,
+}
+
+
+def run_tpcc(db: Database, state: TpccState, config: TpccConfig) -> TpccReport:
+    """Closed-loop run: ``workers`` sessions each run their share."""
+    sim = db.sim
+    rng = np.random.default_rng(config.seed)
+    names = list(config.mix)
+    weights = np.array([config.mix[name] for name in names], dtype=float)
+    weights /= weights.sum()
+    total = config.workers * config.transactions_per_worker
+    choices = rng.choice(len(names), size=total, p=weights)
+    districts = rng.integers(0, state.scale.districts, size=total)
+    report = TpccReport()
+    start = sim.now
+
+    def worker(worker_index: int) -> ProcessGenerator:
+        base = worker_index * config.transactions_per_worker
+        worker_rng = np.random.default_rng(config.seed * 7919 + worker_index)
+        for index in range(config.transactions_per_worker):
+            name = names[int(choices[base + index])]
+            district = int(districts[base + index])
+            begin = sim.now
+            yield from db.server.cpu.compute(db.query_setup_cpu_us / 3)
+            yield from _TRANSACTIONS[name](state, worker_rng, config, district)
+            report.latency.record(sim.now - begin)
+            report.transactions += 1
+
+    processes = [sim.spawn(worker(index)) for index in range(config.workers)]
+
+    def waiter():
+        yield AllOf(sim, processes)
+
+    sim.run_until_complete(sim.spawn(waiter()))
+    report.elapsed_us = sim.now - start
+    return report

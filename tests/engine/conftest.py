@@ -1,0 +1,51 @@
+"""Shared fixtures for engine tests."""
+
+import pytest
+
+from repro.broker import MemoryBroker, MemoryProxy
+from repro.cluster import Cluster
+from repro.net import Network
+from repro.remotefile import AccessPolicy, RemoteMemoryFilesystem, StagingPool
+from repro.storage import GB, MB, Raid0Array, SsdDevice
+
+
+class EngineRig:
+    """A DB server with HDD + SSD, one memory server, broker and remote FS."""
+
+    def __init__(self, policy=AccessPolicy.SYNC, remote_gb=4):
+        self.cluster = Cluster(seed=42)
+        self.sim = self.cluster.sim
+        network = Network(self.sim)
+        self.db = self.cluster.add_server("db", memory_bytes=64 * GB)
+        network.attach(self.db)
+        self.hdd = self.db.attach_device(
+            "hdd", Raid0Array(self.sim, spindles=20, rng=self.cluster.rng.stream("hdd"))
+        )
+        self.ssd = self.db.attach_device("ssd", SsdDevice(self.sim))
+        self.mem = self.cluster.add_server("mem0", memory_bytes=384 * GB)
+        network.attach(self.mem)
+        self.broker = MemoryBroker(self.sim)
+        self.proxy = MemoryProxy(self.mem, self.broker, mr_bytes=16 * MB)
+        self.fs = RemoteMemoryFilesystem(self.db, self.broker, StagingPool(self.db), policy=policy)
+
+        def setup():
+            yield from self.fs.initialize()
+            yield from self.proxy.offer_available(limit_bytes=remote_gb * GB)
+
+        self.run(setup())
+
+    def run(self, generator):
+        return self.sim.run_until_complete(self.sim.spawn(generator))
+
+    def make_remote_file(self, name, size):
+        def build():
+            file = yield from self.fs.create(name, size)
+            yield from file.open()
+            return file
+
+        return self.run(build())
+
+
+@pytest.fixture
+def rig():
+    return EngineRig()

@@ -1,0 +1,222 @@
+"""Tests for the buffer pool, eviction, lazy writer and BPExt."""
+
+import pytest
+
+from repro.engine.bufferpool import BufferPool, BufferPoolExtension
+from repro.engine.files import DevicePageFile, RemotePageFile
+from repro.engine.page import Page
+from repro.storage import MB
+
+
+def make_pool(rig, capacity=8, extension_store=None, file_device=None):
+    extension = BufferPoolExtension(extension_store) if extension_store else None
+    pool = BufferPool(rig.db, capacity_pages=capacity, extension=extension)
+    device = file_device if file_device is not None else rig.hdd
+    data = DevicePageFile(1, rig.db, device)
+    data.preload([Page.build(1, n, [(n, f"row{n}")]) for n in range(64)])
+    pool.register_file(data)
+    return pool, data
+
+
+class TestBasicCaching:
+    def test_miss_then_hit(self, rig):
+        pool, _data = make_pool(rig)
+        rig.run(pool.get_page(1, 0))
+        assert (pool.hits, pool.misses) == (0, 1)
+        rig.run(pool.get_page(1, 0))
+        assert (pool.hits, pool.misses) == (1, 1)
+
+    def test_hit_avoids_device(self, rig):
+        pool, data = make_pool(rig)
+        rig.run(pool.get_page(1, 0))
+        reads_before = data.page_reads
+        rig.run(pool.get_page(1, 0))
+        assert data.page_reads == reads_before
+
+    def test_lru_eviction_order(self, rig):
+        pool, _data = make_pool(rig, capacity=4)
+        for n in range(4):
+            rig.run(pool.get_page(1, n))
+        rig.run(pool.get_page(1, 0))  # 0 becomes most recent
+        rig.run(pool.get_page(1, 4))  # evicts 1 (least recent)
+        assert pool.is_cached((1, 0))
+        assert not pool.is_cached((1, 1))
+
+    def test_unknown_file_raises(self, rig):
+        from repro.engine.errors import PageNotFound
+
+        pool, _data = make_pool(rig)
+        with pytest.raises(PageNotFound):
+            rig.run(pool.get_page(99, 0))
+
+    def test_capacity_validation(self, rig):
+        from repro.engine.errors import EngineError
+
+        with pytest.raises(EngineError):
+            BufferPool(rig.db, capacity_pages=1)
+
+
+class TestDirtyPages:
+    def test_update_marks_dirty_and_changes_content(self, rig):
+        pool, _data = make_pool(rig)
+
+        def bump(page):
+            page.rows[0] = (0, "updated")
+
+        rig.run(pool.update_page(1, 0, bump))
+        page = rig.run(pool.get_page(1, 0))
+        assert page.rows[0] == (0, "updated")
+
+    def test_dirty_eviction_flushes_to_file_in_background(self, rig):
+        pool, data = make_pool(rig, capacity=4)
+
+        def bump(page):
+            page.rows[0] = (0, "updated")
+
+        rig.run(pool.update_page(1, 0, bump))
+        for n in range(1, 6):  # push page 0 out
+            rig.run(pool.get_page(1, n))
+        rig.sim.run(until=rig.sim.now + 1e6)  # let the lazy writer drain
+        assert data._pages[0].rows[0] == (0, "updated")
+
+    def test_read_during_pending_write_sees_new_data(self, rig):
+        pool, _data = make_pool(rig, capacity=4)
+
+        def bump(page):
+            page.rows[0] = (0, "updated")
+
+        rig.run(pool.update_page(1, 0, bump))
+        for n in range(1, 6):
+            rig.run(pool.get_page(1, n))
+        # Do not wait for the writer: the page image must still be correct.
+        page = rig.run(pool.get_page(1, 0))
+        assert page.rows[0] == (0, "updated")
+
+    def test_flush_all_persists_everything(self, rig):
+        pool, data = make_pool(rig)
+
+        def bump(page):
+            page.rows[0] = ("flushed",)
+
+        for n in range(3):
+            rig.run(pool.update_page(1, n, bump))
+        rig.run(pool.flush_all())
+        for n in range(3):
+            assert data._pages[n].rows[0] == ("flushed",)
+
+
+class TestExtension:
+    def make_ext_pool(self, rig, remote=False, capacity=4, ext_pages=16):
+        if remote:
+            remote_file = rig.make_remote_file("bpext", ext_pages * 8192)
+            store = RemotePageFile(50, remote_file)
+        else:
+            store = DevicePageFile(50, rig.db, rig.ssd, capacity_pages=ext_pages)
+        pool, data = make_pool(rig, capacity=capacity, extension_store=store)
+        return pool, data, store
+
+    def test_clean_eviction_parks_in_extension(self, rig):
+        pool, _data, _store = self.make_ext_pool(rig)
+        for n in range(5):  # page 0 evicted
+            rig.run(pool.get_page(1, n))
+        assert pool.extension.contains((1, 0))
+
+    def test_extension_hit_avoids_base_file(self, rig):
+        pool, data, _store = self.make_ext_pool(rig)
+        for n in range(5):
+            rig.run(pool.get_page(1, n))
+        base_reads = data.page_reads
+        rig.run(pool.get_page(1, 0))  # should come from the extension
+        assert data.page_reads == base_reads
+        assert pool.ext_hits == 1
+
+    def test_remote_extension_roundtrip(self, rig):
+        pool, _data, _store = self.make_ext_pool(rig, remote=True)
+        for n in range(5):
+            rig.run(pool.get_page(1, n))
+        page = rig.run(pool.get_page(1, 0))
+        assert page.rows == [(0, "row0")]
+        assert pool.ext_hits == 1
+
+    def test_extension_evicts_oldest_when_full(self, rig):
+        pool, _data, _store = self.make_ext_pool(rig, capacity=2, ext_pages=3)
+        for n in range(8):
+            rig.run(pool.get_page(1, n))
+        parked = [pid for pid in [(1, n) for n in range(8)] if pool.extension.contains(pid)]
+        assert len(parked) <= 3
+
+    def test_update_invalidates_extension_copy(self, rig):
+        pool, _data, _store = self.make_ext_pool(rig)
+        for n in range(5):
+            rig.run(pool.get_page(1, n))
+        assert pool.extension.contains((1, 0))
+
+        def bump(page):
+            page.rows[0] = (0, "v2")
+
+        rig.run(pool.update_page(1, 0, bump))
+        # Fresh read after another round of eviction must see v2.
+        for n in range(1, 6):
+            rig.run(pool.get_page(1, n))
+        rig.sim.run(until=rig.sim.now + 1e6)
+        page = rig.run(pool.get_page(1, 0))
+        assert page.rows[0] == (0, "v2")
+
+    def test_remote_loss_falls_back_to_base_file(self, rig):
+        """Correctness survives losing every lease (Section 4.1.5)."""
+        pool, data, _store = self.make_ext_pool(rig, remote=True)
+        for n in range(5):
+            rig.run(pool.get_page(1, n))
+        assert pool.extension.contains((1, 0))
+        # Expire the leases: remote memory vanishes.
+        rig.sim.run(until=rig.sim.now + rig.broker.lease_duration_us + 1)
+        page = rig.run(pool.get_page(1, 0))
+        assert page.rows == [(0, "row0")]  # served from the data file
+        assert pool.extension.failures >= 1
+
+
+class TestPrefetch:
+    def test_prefetch_installs_contiguous_pages(self, rig):
+        pool, data = make_pool(rig, capacity=64)
+        pool.prefetch(1, list(range(0, 16)))
+        rig.sim.run(until=rig.sim.now + 1e6)
+        assert all(pool.is_cached((1, n)) for n in range(16))
+        # One coalesced device read, not sixteen.
+        assert data.page_reads == 16
+        assert rig.hdd.reads <= 2
+
+    def test_prefetch_skips_resident_and_missing(self, rig):
+        pool, data = make_pool(rig, capacity=64)
+        rig.run(pool.get_page(1, 5))
+        reads_before = data.page_reads
+        pool.prefetch(1, [5, 63, 100])  # 5 resident, 100 missing
+        rig.sim.run(until=rig.sim.now + 1e6)
+        assert pool.is_cached((1, 63))
+        assert not pool.is_cached((1, 100))
+        assert data.page_reads == reads_before + 1
+
+    def test_concurrent_reader_waits_for_inflight_prefetch(self, rig):
+        pool, data = make_pool(rig, capacity=64)
+        got = []
+
+        def reader():
+            page = yield from pool.get_page(1, 3)
+            got.append(page)
+
+        pool.prefetch(1, [3])
+        rig.sim.spawn(reader())
+        rig.sim.run(until=rig.sim.now + 1e6)
+        assert got and got[0].page_id == (1, 3)
+        # The reader deduplicated against the prefetch: one device read.
+        assert data.page_reads == 1
+
+    def test_prefetch_concurrency_cap(self, rig):
+        from repro.engine.bufferpool import PREFETCH_CONCURRENCY
+
+        pool, _data = make_pool(rig, capacity=1024)
+        # Ask for more than the cap in one call: the claim count is bounded.
+        data2 = DevicePageFile(2, rig.db, rig.ssd)
+        data2.preload([Page.build(2, n, [(n,)]) for n in range(PREFETCH_CONCURRENCY * 2)])
+        pool.register_file(data2)
+        pool.prefetch(2, list(range(PREFETCH_CONCURRENCY * 2)))
+        assert pool._prefetch_active <= PREFETCH_CONCURRENCY

@@ -1,0 +1,166 @@
+"""Unit tests for RDMA verbs, registration and the fabric."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.net import (
+    MR_MAX_SIZE,
+    MemoryRegion,
+    Network,
+    QueuePair,
+    RdmaError,
+    RdmaRegistrar,
+)
+from repro.storage import GB, KB, MB
+
+
+def make_pair():
+    cluster = Cluster()
+    network = Network(cluster.sim)
+    db = cluster.add_server("db")
+    mem = cluster.add_server("mem")
+    network.attach(db)
+    network.attach(mem)
+    return cluster, db, mem
+
+
+def complete(sim, generator):
+    return sim.run_until_complete(sim.spawn(generator))
+
+
+class TestRegistration:
+    def test_register_costs_50us_for_one_page(self):
+        cluster, _db, mem = make_pair()
+        registrar = RdmaRegistrar(mem)
+        assert registrar.registration_cost_us(8 * KB) == pytest.approx(50.0)
+
+    def test_register_pins_memory(self):
+        cluster, _db, mem = make_pair()
+        registrar = RdmaRegistrar(mem)
+        before = mem.memory_available
+        region = complete(cluster.sim, registrar.register(64 * MB))
+        assert region.registered
+        assert mem.memory_available == before - 64 * MB
+
+    def test_deregister_releases_memory(self):
+        cluster, _db, mem = make_pair()
+        registrar = RdmaRegistrar(mem)
+        before = mem.memory_available
+        region = complete(cluster.sim, registrar.register(64 * MB))
+        complete(cluster.sim, registrar.deregister(region))
+        assert not region.registered
+        assert mem.memory_available == before
+
+    def test_mr_size_limit(self):
+        cluster, _db, mem = make_pair()
+        registrar = RdmaRegistrar(mem)
+        with pytest.raises(RdmaError):
+            complete(cluster.sim, registrar.register(MR_MAX_SIZE + 1))
+
+    def test_registration_takes_time(self):
+        cluster, _db, mem = make_pair()
+        registrar = RdmaRegistrar(mem)
+        complete(cluster.sim, registrar.register(8 * KB))
+        assert cluster.sim.now == pytest.approx(50.0)
+
+
+class TestMemoryRegion:
+    def test_byte_roundtrip(self):
+        cluster, _db, mem = make_pair()
+        region = MemoryRegion(mem, 1 * MB)
+        region.write_bytes(100, b"hello remote memory")
+        assert region.read_bytes(100, 19) == b"hello remote memory"
+
+    def test_out_of_range_rejected(self):
+        cluster, _db, mem = make_pair()
+        region = MemoryRegion(mem, 1024)
+        with pytest.raises(RdmaError):
+            region.read_bytes(1020, 8)
+        with pytest.raises(RdmaError):
+            region.write_bytes(-1, b"x")
+
+    def test_object_overlay(self):
+        cluster, _db, mem = make_pair()
+        region = MemoryRegion(mem, 1 * MB)
+        payload = {"page": 42}
+        region.put_object(8192, 8192, payload)
+        assert region.get_object(8192) is payload
+        region.drop_object(8192)
+        with pytest.raises(RdmaError):
+            region.get_object(8192)
+
+
+class TestQueuePair:
+    def test_read_roundtrip(self):
+        cluster, db, mem = make_pair()
+        registrar = RdmaRegistrar(mem)
+        region = complete(cluster.sim, registrar.register(1 * MB))
+        region.write_bytes(0, b"A" * 8192)
+        qp = QueuePair(db, mem)
+        data = complete(cluster.sim, qp.read(region, 0, 8192))
+        assert data == b"A" * 8192
+        assert qp.reads == 1
+
+    def test_write_then_read(self):
+        cluster, db, mem = make_pair()
+        registrar = RdmaRegistrar(mem)
+        region = complete(cluster.sim, registrar.register(1 * MB))
+        qp = QueuePair(db, mem)
+        complete(cluster.sim, qp.write(region, 4096, payload=b"B" * 1000))
+        assert region.read_bytes(4096, 1000) == b"B" * 1000
+
+    def test_unloaded_8k_read_is_about_10us(self):
+        cluster, db, mem = make_pair()
+        registrar = RdmaRegistrar(mem)
+        region = complete(cluster.sim, registrar.register(1 * MB))
+        qp = QueuePair(db, mem)
+        start = cluster.sim.now
+        complete(cluster.sim, qp.read(region, 0, 8192))
+        latency = cluster.sim.now - start
+        # Paper: remote memory access via RDMA ~10 usec.
+        assert 5 < latency < 15
+
+    def test_read_does_not_use_remote_cpu(self):
+        cluster, db, mem = make_pair()
+        registrar = RdmaRegistrar(mem)
+        region = complete(cluster.sim, registrar.register(1 * MB))
+        qp = QueuePair(db, mem)
+        busy_before = mem.cpu.cores.utilization()
+        complete(cluster.sim, qp.read(region, 0, 8192))
+        # Registration used CPU, but the read itself must not.
+        assert mem.cpu.cores.in_use == 0
+        assert mem.cpu.cores.utilization() <= busy_before + 1e-9
+
+    def test_disconnected_qp_rejects_ops(self):
+        cluster, db, mem = make_pair()
+        registrar = RdmaRegistrar(mem)
+        region = complete(cluster.sim, registrar.register(1 * MB))
+        qp = QueuePair(db, mem)
+        qp.disconnect()
+        with pytest.raises(RdmaError):
+            complete(cluster.sim, qp.read(region, 0, 8192))
+
+    def test_unregistered_region_rejected(self):
+        cluster, db, mem = make_pair()
+        region = MemoryRegion(mem, 1 * MB)  # never registered
+        qp = QueuePair(db, mem)
+        with pytest.raises(RdmaError):
+            complete(cluster.sim, qp.read(region, 0, 8192))
+
+    def test_region_must_belong_to_target(self):
+        cluster, db, mem = make_pair()
+        registrar = RdmaRegistrar(db)
+        region = complete(cluster.sim, registrar.register(1 * MB))
+        qp = QueuePair(db, mem)
+        with pytest.raises(RdmaError):
+            complete(cluster.sim, qp.read(region, 0, 8192))
+
+    def test_opaque_object_transfer(self):
+        cluster, db, mem = make_pair()
+        registrar = RdmaRegistrar(mem)
+        region = complete(cluster.sim, registrar.register(1 * MB))
+        qp = QueuePair(db, mem)
+        page = ["row1", "row2"]
+        complete(cluster.sim, qp.write(region, 0, size=8192, obj=page))
+        got = complete(cluster.sim, qp.read(region, 0, 8192, opaque=True))
+        assert got is page

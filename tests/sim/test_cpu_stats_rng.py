@@ -1,0 +1,187 @@
+"""Unit tests for the CPU model, stats collectors and RNG registry."""
+
+import pytest
+
+from repro.sim import Counter, Cpu, LatencyRecorder, RngRegistry, Simulator, TimeSeries
+from repro.sim.stats import summarize
+
+
+class TestCpu:
+    def test_compute_occupies_core(self):
+        sim = Simulator()
+        cpu = Cpu(sim, cores=1)
+        finish = []
+
+        def worker(tag):
+            yield from cpu.compute(10)
+            finish.append((tag, sim.now))
+
+        sim.spawn(worker("a"))
+        sim.spawn(worker("b"))
+        sim.run()
+        assert finish == [("a", 10.0), ("b", 20.0)]
+
+    def test_sync_wait_holds_core(self):
+        sim = Simulator()
+        cpu = Cpu(sim, cores=1)
+        finish = []
+
+        def spinner():
+            yield from cpu.sync_wait(sim.timeout(50))
+            finish.append(("spinner", sim.now))
+
+        def compute_job():
+            yield sim.timeout(1)  # arrive second
+            yield from cpu.compute(5)
+            finish.append(("compute", sim.now))
+
+        sim.spawn(spinner())
+        sim.spawn(compute_job())
+        sim.run()
+        # The spinner monopolizes the core until 50, so the compute job
+        # only finishes afterwards: the cost of synchronous spinning.
+        assert finish == [("spinner", 50.0), ("compute", 55.0)]
+
+    def test_async_wait_releases_core_but_pays_switch(self):
+        sim = Simulator()
+        cpu = Cpu(sim, cores=1, context_switch_us=2, reschedule_delay_us=8)
+        finish = []
+
+        def io_job():
+            yield from cpu.async_wait(sim.timeout(50))
+            finish.append(("io", sim.now))
+
+        def compute_job():
+            yield sim.timeout(1)
+            yield from cpu.compute(5)
+            finish.append(("compute", sim.now))
+
+        sim.spawn(io_job())
+        sim.spawn(compute_job())
+        sim.run()
+        # Compute proceeds during the I/O wait; the I/O job pays 50
+        # (wait) + 8 (resched) + 2 (switch-in) = 60.
+        assert ("compute", 6.0) in finish
+        assert ("io", 60.0) in finish
+        assert cpu.context_switches == 1
+
+    def test_async_wait_returns_event_value(self):
+        sim = Simulator()
+        cpu = Cpu(sim, cores=2)
+
+        def job():
+            value = yield from cpu.async_wait(sim.timeout(3, value="data"))
+            return value
+
+        process = sim.spawn(job())
+        assert sim.run_until_complete(process) == "data"
+
+    def test_utilization_tracking(self):
+        sim = Simulator()
+        cpu = Cpu(sim, cores=2)
+        series = cpu.track_utilization(bucket_us=10)
+
+        def worker():
+            yield from cpu.compute(25)
+
+        sim.spawn(worker())
+        sim.run(until=30)
+        buckets = dict((t, v) for t, v in series.series(until_us=30))
+        # One core busy 0-25us: buckets at 0s-ish each hold 10,10,5 busy-us.
+        assert buckets[0.0] == pytest.approx(10)
+        assert buckets[1e-05] == pytest.approx(10)
+        assert buckets[2e-05] == pytest.approx(5)
+        assert cpu.utilization() == pytest.approx(25 / 60)
+
+
+class TestStats:
+    def test_latency_percentiles(self):
+        rec = LatencyRecorder()
+        for value in range(1, 101):
+            rec.record(float(value))
+        assert rec.p50 == 50
+        assert rec.p95 == 95
+        assert rec.p99 == 99
+        assert rec.mean == pytest.approx(50.5)
+        assert rec.maximum == 100
+
+    def test_empty_recorder_is_zero(self):
+        rec = LatencyRecorder()
+        assert rec.mean == 0
+        assert rec.p99 == 0
+        assert rec.maximum == 0
+
+    def test_summarize_keys(self):
+        rec = LatencyRecorder()
+        rec.record(10)
+        summary = summarize(rec)
+        assert set(summary) == {"count", "mean_us", "p50_us", "p95_us", "p99_us", "max_us"}
+        assert summary["count"] == 1
+
+    def test_counter_rate(self):
+        counter = Counter()
+        counter.add(500)
+        assert counter.rate_per_second(1e6) == pytest.approx(500)
+        assert counter.rate_per_second(0) == 0
+
+    def test_time_series_buckets_and_zero_fill(self):
+        series = TimeSeries(bucket_us=1e6)
+        series.add(0.5e6, 10)
+        series.add(2.5e6, 5)
+        points = series.series()
+        assert points == [(0.0, 10), (1.0, 0.0), (2.0, 5)]
+
+
+class TestRng:
+    def test_streams_are_deterministic(self):
+        a = RngRegistry(seed=7).stream("disk").random(5).tolist()
+        b = RngRegistry(seed=7).stream("disk").random(5).tolist()
+        assert a == b
+
+    def test_streams_are_independent_by_name(self):
+        registry = RngRegistry(seed=7)
+        a = registry.stream("disk").random(5).tolist()
+        b = registry.stream("net").random(5).tolist()
+        assert a != b
+
+    def test_new_stream_does_not_perturb_existing(self):
+        r1 = RngRegistry(seed=7)
+        first = r1.stream("disk").random(3).tolist()
+        r2 = RngRegistry(seed=7)
+        r2.stream("other")  # extra consumer created first
+        second = r2.stream("disk").random(3).tolist()
+        assert first == second
+
+    def test_reset_restores_sequences(self):
+        registry = RngRegistry(seed=3)
+        first = registry.stream("x").random(4).tolist()
+        registry.reset()
+        again = registry.stream("x").random(4).tolist()
+        assert first == again
+
+
+class TestTimeSeriesSplitting:
+    def test_busy_interval_splits_across_buckets(self):
+        """Long computations spread over buckets, not lumped at the end."""
+        sim = Simulator()
+        cpu = Cpu(sim, cores=1)
+        series = cpu.track_utilization(bucket_us=10)
+
+        def worker():
+            yield from cpu.compute(35)
+
+        sim.spawn(worker())
+        sim.run()
+        values = dict(series.series(until_us=40))
+        assert values[0.0] == pytest.approx(10)
+        assert values[1e-05] == pytest.approx(10)
+        assert values[2e-05] == pytest.approx(10)
+        assert values[3e-05] == pytest.approx(5)
+
+    def test_background_load_steals_cpu(self):
+        sim = Simulator()
+        cpu = Cpu(sim, cores=2)
+        sim.spawn(cpu.background_load(per_event_us=40, event_stream_period_us=50))
+        sim.run(until=1000)
+        # Each cycle: 50 us idle + 40 us busy on one of two cores.
+        assert 0.15 < cpu.utilization() < 0.3

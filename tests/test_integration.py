@@ -1,0 +1,113 @@
+"""End-to-end integration tests across the full stack.
+
+These exercise complete scenarios — broker to engine to workload — and
+the correctness invariants the paper's best-effort design relies on:
+query results never change, whatever happens to the remote memory.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.harness import Design, build_database, prewarm_extension
+from repro.workloads import RangeScanConfig, build_customer_table, run_rangescan
+
+
+def query_sum(db, table, low, high):
+    def job():
+        rows = yield from table.clustered.range_scan(low, high)
+        index = table.schema.index_of("acctbal")
+        return sum(row[index] for row in rows), len(rows)
+
+    return db.sim.run_until_complete(db.sim.spawn(job()))
+
+
+class TestResultCorrectnessAcrossDesigns:
+    """The same query must return identical results on every design."""
+
+    @pytest.mark.parametrize("design", list(Design))
+    def test_range_sum_identical(self, design):
+        setup = build_database(design, bp_pages=128, bpext_pages=512,
+                               tempdb_pages=256)
+        db = setup.database
+        table = build_customer_table(db, 3000)
+        prewarm_extension(setup)
+        total, count = query_sum(db, table, 100, 700)
+        expected = sum(float(1000 + key % 9000) for key in range(100, 700))
+        assert count == 600
+        assert total == pytest.approx(expected)
+
+
+class TestBestEffortSemantics:
+    def test_results_identical_before_and_after_remote_failure(self):
+        setup = build_database(Design.CUSTOM, bp_pages=128, bpext_pages=1024,
+                               tempdb_pages=256)
+        db = setup.database
+        table = build_customer_table(db, 3000)
+        prewarm_extension(setup)
+        before = query_sum(db, table, 0, 3000)
+        # Every lease expires: the extension evaporates mid-flight.
+        db.sim.run(until=db.sim.now + setup.broker.lease_duration_us + 1)
+        db.pool.drop_all()
+        after = query_sum(db, table, 0, 3000)
+        assert before == after
+        assert db.pool.extension.failures > 0 or not db.pool.extension.contains((2, 0))
+
+    def test_updates_survive_remote_failure(self):
+        setup = build_database(Design.CUSTOM, bp_pages=128, bpext_pages=512,
+                               tempdb_pages=256)
+        db = setup.database
+        table = build_customer_table(db, 2000)
+        prewarm_extension(setup)
+        config = RangeScanConfig(n_rows=2000, workers=4, queries_per_worker=10,
+                                 update_fraction=1.0, seed=3)
+        run_rangescan(db, table, config)
+        total_before, _ = query_sum(db, table, 0, 2000)
+        # The remote extension evaporates; local state (pool + data
+        # file) is untouched — a remote failure must not lose updates.
+        db.sim.run(until=db.sim.now + setup.broker.lease_duration_us + 1)
+        total_after, _ = query_sum(db, table, 0, 2000)
+        assert total_after == pytest.approx(total_before)
+        # Even after a checkpoint and a full local restart, the durable
+        # image has every update.
+        db.sim.run_until_complete(db.sim.spawn(db.pool.flush_all()))
+        db.pool.drop_all()
+        total_restart, _ = query_sum(db, table, 0, 2000)
+        assert total_restart == pytest.approx(total_before)
+
+
+class TestStackLatencyOrdering:
+    def test_design_latency_ordering_on_cold_reads(self):
+        """Cold page reads order by medium: remote < SSD-ext < HDD base."""
+        latencies = {}
+        for design in (Design.HDD, Design.HDD_SSD, Design.CUSTOM):
+            setup = build_database(design, bp_pages=128, bpext_pages=1024,
+                                   tempdb_pages=256)
+            db = setup.database
+            table = build_customer_table(db, 3000)
+            prewarm_extension(setup)
+            start = db.sim.now
+            query_sum(db, table, 1500, 1600)
+            latencies[design] = db.sim.now - start
+        assert latencies[Design.CUSTOM] < latencies[Design.HDD_SSD]
+        assert latencies[Design.HDD_SSD] < latencies[Design.HDD]
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    low=st.integers(min_value=0, max_value=2500),
+    span=st.integers(min_value=0, max_value=500),
+    bp_pages=st.sampled_from([64, 256, 1024]),
+)
+def test_property_range_sum_independent_of_pool_size(low, span, bp_pages):
+    """Property: results never depend on how much local memory exists."""
+    setup = build_database(Design.CUSTOM, bp_pages=bp_pages, bpext_pages=512,
+                           tempdb_pages=256)
+    db = setup.database
+    table = build_customer_table(db, 3000)
+    high = min(3000, low + span)
+    total, count = query_sum(db, table, low, high)
+    expected_rows = [float(1000 + key % 9000) for key in range(low, high)]
+    assert count == len(expected_rows)
+    assert total == pytest.approx(sum(expected_rows))

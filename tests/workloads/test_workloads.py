@@ -1,0 +1,211 @@
+"""Tests for the workload generators and the harness builders."""
+
+import pytest
+
+from repro.harness import DESIGNS, Design, build_database, prewarm_extension
+from repro.harness.dbbench import prewarm_pool
+from repro.workloads import (
+    DEFAULT_MIX,
+    READ_MOSTLY_MIX,
+    RangeScanConfig,
+    TpccConfig,
+    TpccScale,
+    build_customer_table,
+    build_tpcc_database,
+    build_tpcds_database,
+    build_tpch_database,
+    run_rangescan,
+    run_tpcc,
+    run_query_streams,
+    improvement_histogram,
+)
+from repro.workloads.tpcds import TPCDS_QUERIES
+from repro.workloads.tpch import TPCH_QUERIES
+
+
+class TestDesignTable:
+    def test_all_six_designs_defined(self):
+        assert len(DESIGNS) == 6
+
+    def test_remote_designs_have_protocols(self):
+        assert DESIGNS[Design.CUSTOM].protocol == "ndspi"
+        assert DESIGNS[Design.SMB_RAMDRIVE].protocol == "smb"
+        assert DESIGNS[Design.SMBDIRECT_RAMDRIVE].protocol == "smbdirect"
+        assert DESIGNS[Design.HDD].protocol is None
+
+    def test_only_custom_is_synchronous(self):
+        sync = [d for d, c in DESIGNS.items() if c.sync_remote_io]
+        assert sync == [Design.CUSTOM]
+
+
+class TestBuildDatabase:
+    @pytest.mark.parametrize("design", list(Design))
+    def test_every_design_builds_and_serves(self, design):
+        bonus = 512 if design is Design.LOCAL_MEMORY else 0
+        setup = build_database(design, bp_pages=128, bpext_pages=512,
+                               tempdb_pages=256, local_memory_bonus_pages=bonus)
+        db = setup.database
+        table = build_customer_table(db, 2000)
+        config = RangeScanConfig(n_rows=2000, workers=4, queries_per_worker=5)
+        report = run_rangescan(db, table, config)
+        assert report.queries == 20
+        assert report.throughput_qps > 0
+
+    def test_analytic_flag_disables_bpext_on_disk_designs(self):
+        setup = build_database(Design.HDD_SSD, bp_pages=128, bpext_pages=512,
+                               tempdb_pages=256, analytic=True)
+        assert setup.database.pool.extension is None
+        setup = build_database(Design.CUSTOM, bp_pages=128, bpext_pages=512,
+                               tempdb_pages=256, analytic=True)
+        assert setup.database.pool.extension is not None
+
+    def test_prewarm_extension_installs_pages(self):
+        setup = build_database(Design.CUSTOM, bp_pages=128, bpext_pages=512,
+                               tempdb_pages=256)
+        db = setup.database
+        build_customer_table(db, 2000)
+        installed = prewarm_extension(setup)
+        assert 0 < installed <= 512
+
+    def test_prewarm_pool_fills_frames(self):
+        setup = build_database(Design.LOCAL_MEMORY, bp_pages=512,
+                               bpext_pages=0, tempdb_pages=256)
+        db = setup.database
+        build_customer_table(db, 2000)
+        cached = prewarm_pool(setup)
+        assert cached > 0
+        assert db.pool.in_memory_pages == cached
+
+
+class TestRangeScan:
+    def test_hotspot_distribution_concentrates(self):
+        import numpy as np
+        from repro.workloads.rangescan import _start_keys
+
+        config = RangeScanConfig(n_rows=10_000, distribution="hotspot",
+                                 hotspot_fraction=0.2, hotspot_probability=0.99)
+        keys = _start_keys(config, np.random.default_rng(0), 2000)
+        hot = (keys < 0.2 * (10_000 - config.range_size)).mean()
+        assert hot > 0.95
+
+    def test_update_fraction_produces_updates(self):
+        setup = build_database(Design.CUSTOM, bp_pages=256, bpext_pages=512,
+                               tempdb_pages=256)
+        db = setup.database
+        table = build_customer_table(db, 3000)
+        config = RangeScanConfig(n_rows=3000, workers=4, queries_per_worker=10,
+                                 update_fraction=0.5)
+        report = run_rangescan(db, table, config)
+        assert report.update_latency.count > 0
+        assert len(db.wal.records) > 0
+
+    def test_updates_actually_change_rows(self):
+        setup = build_database(Design.CUSTOM, bp_pages=256, bpext_pages=512,
+                               tempdb_pages=256)
+        db = setup.database
+        table = build_customer_table(db, 1000)
+        config = RangeScanConfig(n_rows=1000, workers=2, queries_per_worker=10,
+                                 update_fraction=1.0)
+        run_rangescan(db, table, config)
+
+        def check():
+            rows = yield from table.clustered.range_scan(0, 1000)
+            return rows
+
+        rows = db.sim.run_until_complete(db.sim.spawn(check()))
+        balance_index = table.schema.index_of("acctbal")
+        original_total = sum(float(1000 + k % 9000) for k in range(1000))
+        assert sum(row[balance_index] for row in rows) > original_total
+
+
+class TestAnalyticsWorkloads:
+    def test_tpch_queries_all_run(self):
+        setup = build_database(Design.CUSTOM, bp_pages=256, bpext_pages=2600,
+                               tempdb_pages=49152, analytic=True)
+        db = setup.database
+        tables = build_tpch_database(db)
+        prewarm_extension(setup)
+        report = run_query_streams(db, tables, TPCH_QUERIES, streams=1, seed=3)
+        assert report.queries == 22
+        assert set(report.per_query) == {spec.name for spec in TPCH_QUERIES}
+
+    def test_tpcds_has_sixty_templates(self):
+        assert len(TPCDS_QUERIES) == 60
+
+    def test_tpcds_subset_runs(self):
+        setup = build_database(Design.CUSTOM, bp_pages=256, bpext_pages=4600,
+                               tempdb_pages=49152, analytic=True)
+        db = setup.database
+        tables = build_tpcds_database(db)
+        prewarm_extension(setup)
+        report = run_query_streams(db, tables, TPCDS_QUERIES[:12], streams=2, seed=3)
+        assert report.queries == 24
+
+    def test_improvement_histogram_buckets(self):
+        from repro.sim import LatencyRecorder
+        from repro.workloads.analytics import StreamReport
+
+        slow = StreamReport()
+        fast = StreamReport()
+        for name, (s, f) in {"a": (100, 80), "b": (300, 100), "c": (900, 100),
+                             "d": (10_000, 100)}.items():
+            slow.per_query[name] = LatencyRecorder(name)
+            slow.per_query[name].record(s)
+            fast.per_query[name] = LatencyRecorder(name)
+            fast.per_query[name].record(f)
+        histogram = improvement_histogram(slow, fast, buckets=(2, 5, 10))
+        assert histogram == {"<2x": 1, "2-5x": 1, "5-10x": 1, ">10x": 1}
+
+
+class TestTpcc:
+    def make(self, design=Design.CUSTOM):
+        setup = build_database(design, bp_pages=830, bpext_pages=1650,
+                               tempdb_pages=512)
+        db = setup.database
+        state = build_tpcc_database(db, TpccScale(warehouses=4, items=200,
+                                                  history_orders=40))
+        return setup, db, state
+
+    def test_transactions_complete(self):
+        _setup, db, state = self.make()
+        config = TpccConfig(scale=state.scale, workers=10,
+                            transactions_per_worker=10)
+        report = run_tpcc(db, state, config)
+        assert report.transactions == 100
+        assert report.throughput_tps > 0
+
+    def test_new_order_inserts_rows(self):
+        _setup, db, state = self.make()
+        before = state.next_order_id
+        config = TpccConfig(scale=state.scale, workers=5,
+                            transactions_per_worker=10,
+                            mix={"new_order": 1.0})
+        run_tpcc(db, state, config)
+        assert state.next_order_id == before + 50
+
+        def check():
+            rows = yield from state.orders.clustered.search(before)
+            return rows
+
+        assert len(db.sim.run_until_complete(db.sim.spawn(check()))) == 1
+
+    def test_payment_updates_balance(self):
+        _setup, db, state = self.make()
+        config = TpccConfig(scale=state.scale, workers=4,
+                            transactions_per_worker=10, mix={"payment": 1.0})
+        run_tpcc(db, state, config)
+
+        def check():
+            total = 0.0
+            for c_key in range(state.scale.customers):
+                rows = yield from state.customer.clustered.search(c_key)
+                total += rows[0][1]
+            return total
+
+        total = db.sim.run_until_complete(db.sim.spawn(check()))
+        assert total < 100.0 * state.scale.customers  # payments debited
+
+    def test_mixes_are_valid_distributions(self):
+        assert abs(sum(DEFAULT_MIX.values()) - 1.0) < 1e-9
+        assert abs(sum(READ_MOSTLY_MIX.values()) - 1.0) < 1e-9
+        assert READ_MOSTLY_MIX["stock_level"] == 0.9
