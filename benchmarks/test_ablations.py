@@ -13,7 +13,7 @@ from dataclasses import replace
 
 from repro.harness import format_table
 from repro.harness.iobench import build_io_target
-from repro.net.rdma import MR_REGISTER_BASE_US, RdmaRegistrar
+from repro.net.rdma import RdmaRegistrar
 from repro.remotefile import AccessPolicy, StagingPool
 from repro.workloads import RANDOM_8K, run_sqlio
 from repro.storage import KB
@@ -77,7 +77,6 @@ def test_ablation_sync_vs_async(once):
 def run_registration_ablation():
     """Pre-registered staging memcpy vs registering each page on demand."""
     target = build_io_target("Custom")
-    sim = target.cluster.sim
     registrar = RdmaRegistrar(target.db_server)
     staging = StagingPool(target.db_server)
     per_page_register_us = registrar.registration_cost_us(8 * KB)

@@ -6,7 +6,7 @@ covers the whole database — and the curves are identical regardless of
 how many servers provide the memory.
 """
 
-from conftest import RANGESCAN_BP, RANGESCAN_ROWS, rangescan_experiment
+from conftest import rangescan_experiment
 
 from repro.harness import Design, format_table
 

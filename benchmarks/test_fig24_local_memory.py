@@ -4,7 +4,7 @@ Custom's advantage over HDD+SSD shrinks as local memory grows, and the
 two meet once the database fits entirely in local memory.
 """
 
-from conftest import RANGESCAN_EXT, RANGESCAN_ROWS, rangescan_experiment
+from conftest import rangescan_experiment
 
 from repro.harness import Design, format_table
 

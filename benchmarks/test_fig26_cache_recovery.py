@@ -6,8 +6,7 @@ from the last checkpoint plus the transaction-log tail — recovery time
 grows linearly with the amount of dirty (post-checkpoint) data.
 """
 
-from repro.engine import Database, RemotePageFile, SemanticCache
-from repro.engine.page import PAGE_SIZE
+from repro.engine import RemotePageFile, SemanticCache
 from repro.engine.wal import LogRecord, LogRecordKind
 from repro.harness import Design, build_database, format_table
 

@@ -1,12 +1,13 @@
 """Cluster memory brokering: proxies, leases, broker, metadata store."""
 
-from .broker import BrokerError, InsufficientMemory, MemoryBroker
+from .broker import BrokerError, BrokerUnavailable, InsufficientMemory, MemoryBroker
 from .lease import Lease, LeaseState
 from .metadata import CasConflict, MetadataStore
 from .proxy import DEFAULT_MR_BYTES, MemoryProxy
 
 __all__ = [
     "BrokerError",
+    "BrokerUnavailable",
     "CasConflict",
     "DEFAULT_MR_BYTES",
     "InsufficientMemory",

@@ -19,7 +19,7 @@ from ..sim.kernel import ProcessGenerator
 from .lease import Lease, LeaseState
 from .metadata import MetadataStore
 
-__all__ = ["MemoryBroker", "BrokerError", "InsufficientMemory"]
+__all__ = ["MemoryBroker", "BrokerError", "BrokerUnavailable", "InsufficientMemory"]
 
 
 class BrokerError(RuntimeError):
@@ -28,6 +28,10 @@ class BrokerError(RuntimeError):
 
 class InsufficientMemory(BrokerError):
     """Not enough unleased remote memory in the cluster."""
+
+
+class BrokerUnavailable(BrokerError):
+    """The broker process is down (restarting); retry after recovery."""
 
 
 class MemoryBroker:
@@ -50,11 +54,87 @@ class MemoryBroker:
         self._leases: dict[int, Lease] = {}
         #: Callbacks fired when a lease is revoked: holder name -> fn(lease).
         self.revocation_listeners: dict[str, Callable[[Lease], None]] = {}
+        #: Fault state: all broker RPCs raise BrokerUnavailable while down.
+        self.alive = True
+
+    # -- fault hooks -------------------------------------------------------
+
+    def _require_up(self) -> None:
+        if not self.alive:
+            raise BrokerUnavailable("broker is down")
+
+    def fail(self) -> None:
+        """Crash the broker process: volatile state stays frozen, every
+        RPC fails until :meth:`recover` replays the metadata store."""
+        self.alive = False
+
+    def recover(self, replay: bool = True) -> ProcessGenerator:
+        """Elect a new broker and rebuild its state (paper Section 4.2).
+
+        With ``replay=True`` the lease table is reconstructed from the
+        replicated metadata store, so leases survive the restart; with
+        ``replay=False`` the metadata was lost too and every active
+        lease is terminated as REVOKED.  Returns the surviving leases.
+        """
+        keys = yield from self.store.keys("leases/")
+        recorded = {key.rsplit("/", 1)[-1] for key in keys}
+        survivors: list[Lease] = []
+        self.alive = True
+        for lease in list(self._leases.values()):
+            if lease.state is not LeaseState.ACTIVE:
+                continue
+            if replay and str(lease.lease_id) in recorded:
+                survivors.append(lease)
+            else:
+                yield from self._terminate(lease, LeaseState.REVOKED)
+        # Sweep anything that expired while the broker was down.
+        self.check_expiry()
+        return [lease for lease in survivors if lease.state is LeaseState.ACTIVE]
+
+    def fail_provider(self, provider: str) -> ProcessGenerator:
+        """A memory server crashed: its regions are gone, not reusable.
+
+        Unleased MRs of the provider are forgotten (the memory they
+        pinned no longer exists) and every active lease on the provider
+        is revoked with listener notification.  Returns the revoked
+        leases so injectors/monitors can account the damage.
+        """
+        for region in self._available.pop(provider, ()):  # regions lost
+            yield from self.store.delete(f"regions/{provider}/{region.mr_id}")
+        revoked: list[Lease] = []
+        for lease in self.leases_for(provider=provider):
+            lease.state = LeaseState.REVOKED
+            lease.region.clear()
+            self._leases.pop(lease.lease_id, None)
+            yield from self.store.delete(f"leases/{lease.lease_id}")
+            self._notify(lease)
+            revoked.append(lease)
+        return revoked
+
+    def force_expire(self, leases: Iterable[Lease]) -> list[Lease]:
+        """Expire ``leases`` immediately (lease-expiry storm injection)."""
+        for lease in leases:
+            if lease.state is LeaseState.ACTIVE:
+                lease.expires_at_us = self.sim.now
+        return self.check_expiry()
 
     # -- provider side ----------------------------------------------------
 
+    def leases_for(
+        self, provider: str | None = None, holder: str | None = None
+    ) -> list[Lease]:
+        """Active leases filtered by provider and/or holder, id-ordered."""
+        return [
+            lease
+            for lease_id, lease in sorted(self._leases.items())
+            if lease.state is LeaseState.ACTIVE
+            and (provider is None or lease.provider == provider)
+            and (holder is None or lease.holder == holder)
+        ]
+
     def register_region(self, region: MemoryRegion) -> ProcessGenerator:
         """A memory proxy offers a pinned, registered MR to the cluster."""
+        self._require_up()
         if not region.registered:
             raise BrokerError("only NIC-registered regions can be brokered")
         self._available.setdefault(region.server.name, deque()).append(region)
@@ -70,6 +150,7 @@ class MemoryBroker:
         currently leased — in that case the proxy may escalate with
         :meth:`revoke_one`.
         """
+        self._require_up()
         queue = self._available.get(provider)
         if not queue:
             return None
@@ -79,6 +160,7 @@ class MemoryBroker:
 
     def revoke_one(self, provider: str) -> ProcessGenerator:
         """Forcibly revoke the oldest lease on ``provider`` (pressure path)."""
+        self._require_up()
         victim: Optional[Lease] = None
         for lease in self._leases.values():
             if lease.provider == provider and lease.state is LeaseState.ACTIVE:
@@ -109,6 +191,7 @@ class MemoryBroker:
         round-robins across providers instead of draining one at a time
         (used by the multi-memory-server experiments, Figures 5 and 12b).
         """
+        self._require_up()
         candidates = list(providers) if providers is not None else sorted(self._available)
         candidates = [c for c in candidates if self._available.get(c)]
         if self.available_bytes() < bytes_needed or not candidates:
@@ -157,6 +240,7 @@ class MemoryBroker:
 
     def renew(self, lease: Lease) -> ProcessGenerator:
         """Extend the lease; returns False if it can no longer be renewed."""
+        self._require_up()
         if lease.state is not LeaseState.ACTIVE or self.sim.now >= lease.expires_at_us:
             self._expire_if_needed(lease)
             return False
@@ -166,11 +250,18 @@ class MemoryBroker:
 
     def release(self, lease: Lease) -> ProcessGenerator:
         """Voluntary release: the MR returns to the available pool."""
+        self._require_up()
         if lease.state is LeaseState.ACTIVE:
             yield from self._terminate(lease, LeaseState.RELEASED)
 
     def check_expiry(self) -> list[Lease]:
-        """Mark overdue leases expired; returns the newly-expired ones."""
+        """Mark overdue leases expired; returns the newly-expired ones.
+
+        No-op while the broker is down: expiry is enforced by the broker
+        process, so a dead broker simply stops sweeping until recovery.
+        """
+        if not self.alive:
+            return []
         expired = []
         for lease in list(self._leases.values()):
             if lease.state is LeaseState.ACTIVE and self.sim.now >= lease.expires_at_us:
@@ -210,4 +301,6 @@ class MemoryBroker:
 
     @property
     def active_leases(self) -> list[Lease]:
-        return [l for l in self._leases.values() if l.state is LeaseState.ACTIVE]
+        return [
+            lease for lease in self._leases.values() if lease.state is LeaseState.ACTIVE
+        ]

@@ -60,6 +60,23 @@ class MemoryProxy:
             regions.append(region)
         return regions
 
+    def crash(self) -> None:
+        """The host server crashed: every pinned MR is gone.
+
+        Instantaneous (the server is dead — nobody pays CPU for it):
+        registration state is wiped and the pinned memory is returned to
+        the (now empty) server so a later :meth:`offer_available` after
+        :meth:`repro.cluster.Server.restore` can re-pin from scratch.
+        The broker learns about the crash separately through
+        :meth:`~repro.broker.MemoryBroker.fail_provider`.
+        """
+        for region in self.offered:
+            self.registrar.regions.pop(region.mr_id, None)
+            region.registered = False
+            region.clear()
+            self.server.release_memory(region.size)
+        self.offered.clear()
+
     def handle_memory_pressure(self, bytes_needed: int) -> ProcessGenerator:
         """OS pressure notification: withdraw MRs until demand is met.
 

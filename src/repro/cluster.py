@@ -5,6 +5,10 @@ Infiniband testbed (Table 3): every :class:`Server` has a CPU (20 cores /
 40 logical processors), local memory, an RDMA-capable NIC port, and
 whatever block devices the experiment attaches (RAID-0 HDD array, SSD,
 RamDrive).
+
+Servers carry an ``alive`` flag that NICs and devices consult; the
+fault-injection subsystem (:mod:`repro.faults`) drives it through the
+public :meth:`Server.fail` / :meth:`Server.restore` hooks.
 """
 
 from __future__ import annotations
@@ -40,6 +44,32 @@ class Server:
         # Network endpoints are attached by Network.attach().
         self.nic = None  # type: ignore[assignment]
         self.tcp = None  # type: ignore[assignment]
+        #: Fault state: devices and NICs refuse service while False.
+        self.alive = True
+
+    # -- fault hooks -------------------------------------------------------
+
+    def fail(self) -> None:
+        """Crash the server: NIC goes dark, in-flight transfers abort.
+
+        The server's memory contents are considered lost; higher layers
+        (broker, proxies, buffer-pool extension) learn about the crash
+        through their own public ``on_fault``-style hooks, driven by the
+        fault-injection subsystem.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        if self.nic is not None:
+            self.nic.fail()
+
+    def restore(self) -> None:
+        """Bring the server back (empty memory, NIC reconnected)."""
+        if self.alive:
+            return
+        self.alive = True
+        if self.nic is not None:
+            self.nic.restore()
 
     # -- memory accounting ------------------------------------------------
 
@@ -67,6 +97,7 @@ class Server:
         if key in self.devices:
             raise ValueError(f"{self.name}: device {key!r} already attached")
         self.devices[key] = device
+        device.owner = self
         return device
 
     def device(self, key: str) -> BlockDevice:

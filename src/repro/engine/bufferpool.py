@@ -21,7 +21,7 @@ Faithfully modelled details:
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Optional
+from typing import Callable, Optional
 
 from ..cluster import Server
 from ..sim import LatencyRecorder, TimeSeries
@@ -63,6 +63,11 @@ class BufferPoolExtension:
         self.hits = 0
         self.misses = 0
         self.failures = 0
+        #: Pages invalidated by provider faults (``on_fault`` sweeps).
+        self.pages_lost_to_faults = 0
+        #: Observers called with the page id whenever a remote failure is
+        #: detected on the access path (fault-detection latency probes).
+        self.fault_listeners: list[Callable[[PageId], None]] = []
         #: Per-read latency of extension fetches (Figure 11c drill-down).
         self.read_latency = LatencyRecorder("bpext.read")
         #: Optional bytes-moved series (Figure 11a drill-down).
@@ -137,10 +142,57 @@ class BufferPoolExtension:
             self._free.append(slot)
 
     def _on_failure(self, page_id: PageId, slot: int) -> None:
-        """A lease/provider vanished: drop the mapping, stay correct."""
+        """A lease/provider vanished: drop the mapping, free the slot.
+
+        The page image is lost, but the *slot* is not: once the store
+        recovers (lease re-acquired, provider restored) the slot can
+        hold a fresh page, so it goes back on the free list instead of
+        leaking capacity.  The caller re-faults the page from the local
+        store, so correctness is never affected.
+        """
         self.failures += 1
-        self._slots.pop(page_id, None)
-        # The slot may be unusable; do not reuse it.
+        for listener in self.fault_listeners:
+            listener(page_id)
+        if self._slots.pop(page_id, None) is None and slot in self._free:
+            # A concurrent access already reclaimed this slot.
+            return
+        self.store.discard(slot)
+        self._free.append(slot)
+
+    def on_fault(self, provider: str | None = None) -> list[PageId]:
+        """Drop every slot backed by ``provider`` (``None`` = all slots).
+
+        Called by fault injectors when a memory server crashes, instead
+        of waiting for each page to fail on access.  Returns the page
+        ids that were lost (they will re-fault from the base file).
+        """
+        slot_provider = getattr(self.store, "slot_provider", None)
+        lost: list[PageId] = []
+        for page_id, slot in list(self._slots.items()):
+            if (
+                provider is None
+                or slot_provider is None
+                or slot_provider(slot) == provider
+            ):
+                self.invalidate(page_id)
+                lost.append(page_id)
+        self.pages_lost_to_faults += len(lost)
+        return lost
+
+    def replace_store(self, store: PageStore) -> None:
+        """Point the extension at a fresh store (post-crash re-acquisition).
+
+        All slot mappings are dropped (the new store starts empty) and
+        the slot free list is rebuilt to the new capacity; the extension
+        then re-warms organically as clean pages are evicted into it.
+        """
+        if store.capacity_pages is None:
+            raise EngineError("extension store needs a fixed capacity")
+        self.store = store
+        self.capacity_pages = store.capacity_pages
+        self._slots.clear()
+        self._free = list(range(self.capacity_pages - 1, -1, -1))
+        self.enabled = True
 
     def clear(self) -> None:
         for page_id in list(self._slots):

@@ -146,7 +146,6 @@ class Database:
         """Direct (untimed) walk of the clustered leaves for DDL builds."""
         tree: BTree = table.clustered
         store = tree.store
-        page_no = None
         # Find leftmost leaf without simulation time.
         page = store._pages[tree.root_page_no]  # type: ignore[attr-defined]
         from .page import PageKind

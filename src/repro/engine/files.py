@@ -300,6 +300,10 @@ class RemotePageFile(PageStore):
         self._present.discard(slot)
         self._batches.pop(slot, None)
 
+    def slot_provider(self, slot: int) -> str:
+        """Memory server backing ``slot`` (fault-targeting hook)."""
+        return self.remote_file.provider_of(slot * PAGE_SIZE)
+
     def preload(self, pages: list[Page]) -> None:
         """Install page images without simulated I/O (steady-state setup)."""
         for page in pages:

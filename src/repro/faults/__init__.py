@@ -1,0 +1,35 @@
+"""repro.faults — deterministic fault injection and recovery.
+
+Scheduled, seeded, virtual-time faults driven through the public fault
+hooks each layer exposes (``Server.fail``, ``NicPort.degrade``,
+``MemoryBroker.fail_provider`` …), plus the observers that measure how
+the system detects and recovers.  See DESIGN.md ("Fault injection") for
+the architecture and determinism contract.
+"""
+
+from .chaos import ChaosMonkey
+from .injectors import (
+    BrokerRestartInjector,
+    FaultEngine,
+    Injector,
+    LeaseExpiryStormInjector,
+    LinkDegradationInjector,
+    MemoryServerCrashInjector,
+)
+from .recovery import FaultRecord, RecoveryMonitor
+from .schedule import FaultKind, FaultPlan, FaultSpec
+
+__all__ = [
+    "BrokerRestartInjector",
+    "ChaosMonkey",
+    "FaultEngine",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultSpec",
+    "Injector",
+    "LeaseExpiryStormInjector",
+    "LinkDegradationInjector",
+    "MemoryServerCrashInjector",
+    "RecoveryMonitor",
+]

@@ -1,0 +1,116 @@
+"""ChaosMonkey: continuous seeded fault sampling in virtual time.
+
+Where :class:`~repro.faults.schedule.FaultPlan` replays a fixed,
+pre-drawn schedule, the monkey keeps drawing faults from a seeded
+stream *while the workload runs* — exponential gaps between faults,
+uniform choice of kind and target.  Because every draw comes from one
+named RNG stream and the simulation is deterministic, a monkey run is
+still bit-reproducible: same seed, same faults, same times.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..sim.kernel import Process, ProcessGenerator
+from .injectors import FaultEngine
+from .schedule import FaultKind, FaultSpec
+
+__all__ = ["ChaosMonkey"]
+
+#: Kinds the monkey samples by default: server crashes are excluded
+#: because un-monitored permanent crashes starve the workload; opt in
+#: explicitly when the harness wires a restore path.
+DEFAULT_KINDS = (
+    FaultKind.LINK_DEGRADATION,
+    FaultKind.LEASE_EXPIRY_STORM,
+    FaultKind.BROKER_RESTART,
+)
+
+
+class ChaosMonkey:
+    """Samples and fires faults until told to stop.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`FaultEngine` that owns the injectors.
+    rng:
+        Seeded stream for *all* monkey draws (gaps, kinds, targets,
+        knobs).  Keep it distinct from workload streams so adding the
+        monkey does not perturb workload randomness.
+    mean_interval_us:
+        Mean of the exponential gap between consecutive faults.
+    targets:
+        Server names eligible for targeted faults (crash/degradation);
+        defaults to the engine's memory-side servers (every server with
+        a registered proxy, else all servers).
+    """
+
+    def __init__(
+        self,
+        engine: FaultEngine,
+        rng: np.random.Generator,
+        mean_interval_us: float = 2e6,
+        targets: Optional[Sequence[str]] = None,
+        kinds: Sequence[FaultKind] = DEFAULT_KINDS,
+        mean_duration_us: float = 500_000.0,
+    ):
+        self.engine = engine
+        self.rng = rng
+        self.mean_interval_us = mean_interval_us
+        if targets is None:
+            targets = sorted(engine.proxies) or sorted(engine.servers)
+        self.targets = list(targets)
+        self.kinds = list(kinds)
+        self.mean_duration_us = mean_duration_us
+        self.fired: list[FaultSpec] = []
+        self._process: Optional[Process] = None
+        self._stopped = False
+
+    def start(self) -> Process:
+        if self._process is not None and self._process.is_alive:
+            raise RuntimeError("chaos monkey is already running")
+        self._stopped = False
+        self._process = self.engine.sim.spawn(self._loop(), name="chaos-monkey")
+        return self._process
+
+    def stop(self) -> None:
+        """No further faults; an in-progress injection still completes."""
+        self._stopped = True
+
+    def _sample(self) -> FaultSpec:
+        rng = self.rng
+        now = self.engine.sim.now
+        kind = self.kinds[int(rng.integers(len(self.kinds)))]
+        duration = float(rng.exponential(self.mean_duration_us))
+        if kind is FaultKind.MEMORY_SERVER_CRASH:
+            target = self.targets[int(rng.integers(len(self.targets)))]
+            return FaultSpec(now, kind, target, duration)
+        if kind is FaultKind.LINK_DEGRADATION:
+            target = self.targets[int(rng.integers(len(self.targets)))]
+            return FaultSpec(
+                now,
+                kind,
+                target,
+                duration,
+                {
+                    "latency_multiplier": 1.0 + float(rng.uniform(1.0, 9.0)),
+                    "drop_probability": float(rng.uniform(0.0, 0.3)),
+                },
+            )
+        if kind is FaultKind.LEASE_EXPIRY_STORM:
+            return FaultSpec(now, kind, "", 0.0, {"fraction": float(rng.uniform(0.1, 1.0))})
+        return FaultSpec(now, kind, "", duration, {"replay": True})
+
+    def _loop(self) -> ProcessGenerator:
+        sim = self.engine.sim
+        while not self._stopped:
+            yield sim.timeout(float(self.rng.exponential(self.mean_interval_us)))
+            if self._stopped:
+                break
+            spec = self._sample()
+            self.fired.append(spec)
+            yield from self.engine.fire(spec)

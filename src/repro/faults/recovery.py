@@ -1,0 +1,218 @@
+"""Recovery observation: per-fault detection and recovery metrics.
+
+The :class:`RecoveryMonitor` plugs into the :class:`FaultEngine` (as its
+``monitor``) and into the buffer-pool extension's ``fault_listeners``
+hook, and records one :class:`FaultRecord` per injected fault:
+
+* ``detected_at_us`` — first time the workload *observed* the fault
+  (an access hit a dead remote slot and re-faulted from the base file);
+* ``pages_lost`` — parked pages invalidated at injection;
+* ``refaults`` — accesses that fell back to the base file afterwards;
+* ``restored_at_us`` — when the injected condition was healed;
+* ``recovered_at_us`` — when observed throughput climbed back above a
+  caller-supplied threshold (see :meth:`watch_recovery`).
+
+All times are virtual microseconds; a seeded replay produces an
+identical set of records (:meth:`snapshot` returns plain comparable
+dicts for exactly that assertion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..harness.report import format_table
+from ..sim.kernel import ProcessGenerator, Simulator
+from .schedule import FaultSpec
+
+__all__ = ["FaultRecord", "RecoveryMonitor"]
+
+
+@dataclass
+class FaultRecord:
+    """Everything observed about one injected fault."""
+
+    spec: FaultSpec
+    injected_at_us: float
+    detected_at_us: Optional[float] = None
+    restored_at_us: Optional[float] = None
+    recovered_at_us: Optional[float] = None
+    pages_lost: int = 0
+    refaults: int = 0
+    inject_details: dict[str, Any] = field(default_factory=dict)
+    restore_details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def detection_latency_us(self) -> Optional[float]:
+        if self.detected_at_us is None:
+            return None
+        return self.detected_at_us - self.injected_at_us
+
+    @property
+    def recovery_latency_us(self) -> Optional[float]:
+        """Time from restoration to recovered throughput."""
+        if self.recovered_at_us is None or self.restored_at_us is None:
+            return None
+        return self.recovered_at_us - self.restored_at_us
+
+
+class RecoveryMonitor:
+    """Collects :class:`FaultRecord`s; the FaultEngine's ``monitor``."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.records: list[FaultRecord] = []
+        self.series: dict[str, list[tuple[float, float]]] = {}
+
+    # -- FaultEngine callbacks --------------------------------------------
+
+    def fault_injected(self, spec: FaultSpec) -> None:
+        self.records.append(FaultRecord(spec=spec, injected_at_us=self.sim.now))
+
+    def fault_active(self, spec: FaultSpec, details: dict[str, Any]) -> None:
+        record = self._record_for(spec)
+        if record is not None:
+            record.inject_details = dict(details)
+            record.pages_lost = int(details.get("pages_lost", 0))
+
+    def fault_restored(self, spec: FaultSpec, details: dict[str, Any]) -> None:
+        record = self._record_for(spec)
+        if record is not None:
+            record.restored_at_us = self.sim.now
+            record.restore_details = dict(details)
+
+    def _record_for(self, spec: FaultSpec) -> Optional[FaultRecord]:
+        for record in reversed(self.records):
+            if record.spec is spec:
+                return record
+        return None
+
+    # -- extension hook ----------------------------------------------------
+
+    def track_extension(self, extension: Any) -> None:
+        """Subscribe to BPExt failure events for detection/re-fault stats."""
+        extension.fault_listeners.append(self._on_page_fault)
+
+    def _on_page_fault(self, page_id: Any) -> None:
+        if not self.records:
+            return
+        record = self.records[-1]
+        if record.detected_at_us is None:
+            record.detected_at_us = self.sim.now
+        record.refaults += 1
+
+    # -- throughput watching ----------------------------------------------
+
+    def watch(
+        self, counter: Callable[[], float], interval_us: float, label: str
+    ) -> None:
+        """Sample a cumulative counter forever; stored as a (t, rate) series.
+
+        The rate is per second of virtual time over the last interval.
+        """
+        self.series[label] = []
+        self.sim.spawn(self._watcher(counter, interval_us, label), name=f"watch:{label}")
+
+    def _watcher(
+        self, counter: Callable[[], float], interval_us: float, label: str
+    ) -> ProcessGenerator:
+        previous = float(counter())
+        while True:
+            yield self.sim.timeout(interval_us)
+            current = float(counter())
+            rate = (current - previous) / (interval_us / 1e6)
+            self.series[label].append((self.sim.now, rate))
+            previous = current
+
+    def watch_recovery(
+        self,
+        counter: Callable[[], float],
+        threshold_per_s: float,
+        interval_us: float = 50_000.0,
+        label: str = "throughput",
+    ) -> None:
+        """Like :meth:`watch`, and additionally stamps ``recovered_at_us``.
+
+        After a fault has been restored, the first sampling interval
+        whose rate reaches ``threshold_per_s`` marks the fault's record
+        as recovered.
+        """
+        self.series[label] = []
+        self.sim.spawn(
+            self._recovery_watcher(counter, threshold_per_s, interval_us, label),
+            name=f"watch:{label}",
+        )
+
+    def _recovery_watcher(
+        self,
+        counter: Callable[[], float],
+        threshold_per_s: float,
+        interval_us: float,
+        label: str,
+    ) -> ProcessGenerator:
+        previous = float(counter())
+        while True:
+            yield self.sim.timeout(interval_us)
+            current = float(counter())
+            rate = (current - previous) / (interval_us / 1e6)
+            self.series[label].append((self.sim.now, rate))
+            previous = current
+            if rate >= threshold_per_s:
+                for record in self.records:
+                    if (
+                        record.recovered_at_us is None
+                        and (record.restored_at_us is not None or record.spec.duration_us == 0)
+                    ):
+                        record.recovered_at_us = self.sim.now
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Plain comparable dicts — the determinism-assertion payload.
+
+        Deliberately excludes anything derived from process-global
+        counters (lease ids, MR ids survive across runs in one
+        interpreter) so two seeded runs compare bit-identical.
+        """
+        return [
+            {
+                "kind": record.spec.kind.value,
+                "target": record.spec.target,
+                "injected_at_us": record.injected_at_us,
+                "detected_at_us": record.detected_at_us,
+                "restored_at_us": record.restored_at_us,
+                "recovered_at_us": record.recovered_at_us,
+                "pages_lost": record.pages_lost,
+                "refaults": record.refaults,
+                "inject_details": dict(record.inject_details),
+                "restore_details": dict(record.restore_details),
+            }
+            for record in self.records
+        ]
+
+    def report(self) -> str:
+        def fmt(value: Optional[float]) -> str:
+            return "-" if value is None else f"{value / 1e3:.2f}"
+
+        rows = [
+            [
+                record.spec.kind.value,
+                record.spec.target or "-",
+                f"{record.injected_at_us / 1e3:.2f}",
+                fmt(record.detection_latency_us),
+                str(record.pages_lost),
+                str(record.refaults),
+                fmt(record.restored_at_us),
+                fmt(record.recovery_latency_us),
+            ]
+            for record in self.records
+        ]
+        return format_table(
+            [
+                "fault", "target", "t_inject (ms)", "detect lat (ms)",
+                "pages lost", "re-faults", "t_restore (ms)", "recover lat (ms)",
+            ],
+            rows,
+            title="fault injection / recovery",
+        )

@@ -1,0 +1,223 @@
+"""Declarative, seeded, virtual-time fault plans.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` entries — *when*
+(virtual microseconds), *what* (a :class:`FaultKind`), *where* (a target
+server/link) and *for how long*.  Plans are pure data: the same plan,
+replayed against the same seeded simulation, produces bit-identical
+fault times and recovery statistics.  Randomized plans ("storms") are
+generated *ahead of time* from a seeded stream, so randomness lives in
+plan construction, never in injection.
+
+Determinism rules (see DESIGN.md):
+
+* all times are virtual microseconds — no wall clock anywhere;
+* every random draw comes from a named
+  :class:`~repro.sim.RngRegistry` stream derived from the experiment
+  seed;
+* specs are replayed in ``(at_us, sequence)`` order, so ties fire in
+  declaration order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan"]
+
+
+class FaultKind(enum.Enum):
+    """The fault classes the injectors know how to cause."""
+
+    #: A memory server dies: leases revoked, MRs lost, NIC dark,
+    #: in-flight RDMA transfers interrupted.
+    MEMORY_SERVER_CRASH = "memory-server-crash"
+    #: Transient NIC/link degradation: latency multiplier and seeded
+    #: packet loss paid as retransmissions on the target's NIC and TCP.
+    LINK_DEGRADATION = "link-degradation"
+    #: A fraction of active leases is force-expired at once.
+    LEASE_EXPIRY_STORM = "lease-expiry-storm"
+    #: The broker process restarts; leases survive via metadata replay
+    #: (``replay=True``) or are terminated (``replay=False``).
+    BROKER_RESTART = "broker-restart"
+
+
+@dataclass
+class FaultSpec:
+    """One scheduled fault occurrence."""
+
+    #: Virtual time at which the fault is injected.
+    at_us: float
+    kind: FaultKind
+    #: Server name for crash/degradation; provider name (or "") for
+    #: storms; ignored for broker restarts.
+    target: str = ""
+    #: How long the fault lasts; 0 means instantaneous (storms) or
+    #: permanent (crashes that are never restored).
+    duration_us: float = 0.0
+    #: Kind-specific knobs (latency_multiplier, drop_probability,
+    #: fraction, replay, ...).
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at_us}")
+        if self.duration_us < 0:
+            raise ValueError(f"fault duration must be >= 0, got {self.duration_us}")
+        if not isinstance(self.kind, FaultKind):
+            self.kind = FaultKind(self.kind)
+
+    @property
+    def restore_at_us(self) -> float | None:
+        """When the fault heals, or ``None`` for one-shot/permanent faults."""
+        if self.duration_us <= 0:
+            return None
+        return self.at_us + self.duration_us
+
+    def describe(self) -> str:
+        extra = f" {self.params}" if self.params else ""
+        window = f" for {self.duration_us:g}us" if self.duration_us > 0 else ""
+        return f"[{self.at_us:g}us] {self.kind.value} target={self.target!r}{window}{extra}"
+
+
+@dataclass
+class FaultPlan:
+    """An ordered schedule of faults, replayable bit-for-bit."""
+
+    specs: list[FaultSpec] = field(default_factory=list)
+    #: Recorded for provenance; randomized plans embed the seed that
+    #: generated them so a report names its own reproduction recipe.
+    seed: int | None = None
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.sorted_specs())
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def sorted_specs(self) -> list[FaultSpec]:
+        """Specs in firing order: by time, declaration order on ties."""
+        return [
+            spec
+            for _key, _index, spec in sorted(
+                (spec.at_us, index, spec) for index, spec in enumerate(self.specs)
+            )
+        ]
+
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        self.specs.append(spec)
+        return self
+
+    # -- convenience builders ---------------------------------------------
+
+    def crash(self, at_us: float, server: str, duration_us: float = 0.0) -> "FaultPlan":
+        """Crash ``server``; restore it after ``duration_us`` (0 = never)."""
+        return self.add(
+            FaultSpec(at_us, FaultKind.MEMORY_SERVER_CRASH, server, duration_us)
+        )
+
+    def degrade_link(
+        self,
+        at_us: float,
+        server: str,
+        duration_us: float,
+        latency_multiplier: float = 1.0,
+        drop_probability: float = 0.0,
+    ) -> "FaultPlan":
+        return self.add(
+            FaultSpec(
+                at_us,
+                FaultKind.LINK_DEGRADATION,
+                server,
+                duration_us,
+                {
+                    "latency_multiplier": latency_multiplier,
+                    "drop_probability": drop_probability,
+                },
+            )
+        )
+
+    def lease_storm(
+        self, at_us: float, fraction: float = 1.0, provider: str = ""
+    ) -> "FaultPlan":
+        """Force-expire ``fraction`` of active leases (optionally of one provider)."""
+        return self.add(
+            FaultSpec(
+                at_us, FaultKind.LEASE_EXPIRY_STORM, provider, 0.0, {"fraction": fraction}
+            )
+        )
+
+    def broker_restart(
+        self, at_us: float, duration_us: float, replay: bool = True
+    ) -> "FaultPlan":
+        return self.add(
+            FaultSpec(at_us, FaultKind.BROKER_RESTART, "", duration_us, {"replay": replay})
+        )
+
+    # -- seeded random storms ----------------------------------------------
+
+    @classmethod
+    def random_storm(
+        cls,
+        rng: np.random.Generator,
+        horizon_us: float,
+        mean_interval_us: float,
+        targets: Sequence[str],
+        kinds: Iterable[FaultKind] = (
+            FaultKind.MEMORY_SERVER_CRASH,
+            FaultKind.LINK_DEGRADATION,
+            FaultKind.LEASE_EXPIRY_STORM,
+        ),
+        mean_duration_us: float = 1e6,
+        seed: int | None = None,
+    ) -> "FaultPlan":
+        """Sample a Poisson fault storm over ``[0, horizon_us)``.
+
+        All draws happen here, eagerly, from the caller's seeded stream:
+        the returned plan is plain data and replays identically however
+        often it is executed.
+        """
+        if not targets:
+            raise ValueError("random_storm needs at least one target server")
+        kinds = list(kinds)
+        specs: list[FaultSpec] = []
+        clock = 0.0
+        while True:
+            clock += float(rng.exponential(mean_interval_us))
+            if clock >= horizon_us:
+                break
+            kind = kinds[int(rng.integers(len(kinds)))]
+            target = str(targets[int(rng.integers(len(targets)))])
+            duration = float(rng.exponential(mean_duration_us))
+            if kind is FaultKind.MEMORY_SERVER_CRASH:
+                specs.append(FaultSpec(clock, kind, target, duration))
+            elif kind is FaultKind.LINK_DEGRADATION:
+                specs.append(
+                    FaultSpec(
+                        clock,
+                        kind,
+                        target,
+                        duration,
+                        {
+                            "latency_multiplier": 1.0 + float(rng.uniform(1.0, 9.0)),
+                            "drop_probability": float(rng.uniform(0.0, 0.3)),
+                        },
+                    )
+                )
+            elif kind is FaultKind.LEASE_EXPIRY_STORM:
+                specs.append(
+                    FaultSpec(
+                        clock, kind, "", 0.0, {"fraction": float(rng.uniform(0.1, 1.0))}
+                    )
+                )
+            else:  # BROKER_RESTART
+                specs.append(FaultSpec(clock, kind, "", duration, {"replay": True}))
+        return cls(specs=specs, seed=seed)
+
+    def describe(self) -> str:
+        lines = [f"FaultPlan ({len(self.specs)} faults, seed={self.seed})"]
+        lines.extend("  " + spec.describe() for spec in self.sorted_specs())
+        return "\n".join(lines)

@@ -1,6 +1,6 @@
 """Experiment harness: Table-5 designs, cluster builders, reporting."""
 
-from .dbbench import DbSetup, build_database, prewarm_extension
+from .dbbench import DbSetup, build_database, prewarm_extension, rebuild_extension
 from .designs import DESIGNS, REMOTE_DESIGNS, Design, DesignConfig
 from .iobench import IO_DESIGNS, IoTarget, build_custom_multi, build_io_target
 from .report import format_series, format_table
@@ -9,4 +9,5 @@ __all__ = [
     "DESIGNS", "DbSetup", "Design", "DesignConfig", "IO_DESIGNS",
     "IoTarget", "REMOTE_DESIGNS", "build_custom_multi", "build_database",
     "build_io_target", "format_series", "format_table", "prewarm_extension",
+    "rebuild_extension",
 ]

@@ -20,7 +20,13 @@ from ..remotefile import AccessPolicy, RemoteMemoryFilesystem, StagingPool
 from ..storage import GB, MB, RamDrive, Raid0Array, SsdDevice
 from .designs import Design, DESIGNS
 
-__all__ = ["DbSetup", "build_database", "prewarm_extension", "prewarm_pool"]
+__all__ = [
+    "DbSetup",
+    "build_database",
+    "prewarm_extension",
+    "prewarm_pool",
+    "rebuild_extension",
+]
 
 #: File ids reserved for engine-internal files.
 BPEXT_FILE_ID = 900
@@ -39,6 +45,8 @@ class DbSetup:
     broker: Optional[MemoryBroker] = None
     remote_fs: Optional[RemoteMemoryFilesystem] = None
     network: Optional[Network] = None
+    #: Memory-brokering proxies by server name (Custom design only).
+    proxies: dict[str, MemoryProxy] = field(default_factory=dict)
 
     @property
     def sim(self):
@@ -141,6 +149,7 @@ def build_database(
                 yield from fs.initialize()
                 for server in setup.memory_servers:
                     proxy = MemoryProxy(server, broker, mr_bytes=64 * MB)
+                    setup.proxies[server.name] = proxy
                     yield from proxy.offer_available(limit_bytes=per_server + 128 * MB)
                 stores = {}
                 spread = n_memory_servers > 1
@@ -243,3 +252,33 @@ def prewarm_pool(setup: DbSetup, max_pages: Optional[int] = None) -> int:
             pool._frames[page_id] = Frame(page.copy())
             installed += 1
     return installed
+
+
+def rebuild_extension(setup: DbSetup, name: Optional[str] = None):
+    """Re-acquire remote memory for the BPExt after a provider crash.
+
+    ``yield from``-able: creates a fresh remote file (new leases, new
+    queue pairs), points the extension at it via
+    :meth:`~repro.engine.bufferpool.BufferPoolExtension.replace_store`,
+    and drops the dead file.  The extension starts empty and re-warms as
+    clean pages are evicted into it — the recovery curve of the
+    fault-injection experiments.  Returns the new store.
+    """
+    extension = setup.database.pool.extension
+    if extension is None or setup.remote_fs is None:
+        raise ValueError("rebuild_extension needs a Custom-design setup")
+    old_store = extension.store
+    if not isinstance(old_store, RemotePageFile):
+        raise ValueError("the extension store is not remote-memory backed")
+    old_file = old_store.remote_file
+    file_name = name if name is not None else f"{old_file.name}.r{len(setup.remote_fs.files)}"
+    pages = extension.capacity_pages
+    spread = len(setup.memory_servers) > 1
+    new_file = yield from setup.remote_fs.create(
+        file_name, pages * PAGE_SIZE, spread=spread
+    )
+    yield from new_file.open()
+    new_store = RemotePageFile(old_store.file_id, new_file, capacity_pages=pages)
+    extension.replace_store(new_store)
+    yield from setup.remote_fs.delete(old_file)
+    return new_store

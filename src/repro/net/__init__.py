@@ -1,6 +1,6 @@
 """Network substrate: Infiniband fabric, RDMA verbs, TCP, SMB protocols."""
 
-from .fabric import Network, NicPort
+from .fabric import Network, NetworkDown, NicPort
 from .rdma import (
     MR_MAX_COUNT,
     MR_MAX_SIZE,
@@ -19,6 +19,7 @@ __all__ = [
     "MR_REGISTER_BASE_US",
     "MemoryRegion",
     "Network",
+    "NetworkDown",
     "NicPort",
     "QueuePair",
     "RdmaError",

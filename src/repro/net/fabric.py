@@ -11,16 +11,35 @@ modelled as serialized pipes with a small fixed per-message cost.  A
 transfer from A to B occupies A's TX engine, the (negligible) wire, and
 B's RX engine in a pipeline — so saturation can occur at either side,
 which is exactly what Figures 5 and 6 probe.
+
+Fault hooks (used by :mod:`repro.faults`):
+
+* :meth:`NicPort.fail` / :meth:`NicPort.restore` — the port goes dark
+  when its server crashes; in-flight transfers registered through
+  :meth:`NicPort.track_inflight` are aborted with the kernel's
+  :class:`~repro.sim.Interrupt`.
+* :meth:`NicPort.degrade` / :meth:`NicPort.restore_link` — transient
+  link degradation: a latency multiplier plus a seeded packet-loss
+  probability paid as retransmissions.
 """
 
 from __future__ import annotations
 
 from ..cluster import Server
 from ..sim import Resource, Simulator
-from ..sim.kernel import ProcessGenerator
+from ..sim.kernel import Process, ProcessGenerator
 from ..storage import GB
 
-__all__ = ["Network", "NicPort"]
+__all__ = ["Network", "NetworkDown", "NicPort"]
+
+#: Retransmission attempts are bounded: past this the message is
+#: delivered anyway (link-layer retry exhaustion is modelled as success
+#: after the worst-case number of tries, never as silent loss).
+MAX_RETRIES = 8
+
+
+class NetworkDown(RuntimeError):
+    """An endpoint of the transfer is dark (server crash)."""
 
 
 class NicProfile:
@@ -67,28 +86,104 @@ class NicPort:
         self.bytes_sent = 0
         self.bytes_received = 0
         self.messages_sent = 0
+        #: Fault state: the port refuses traffic while False.
+        self.alive = True
+        #: Link degradation (fault injection): engine times scale by the
+        #: multiplier; each message pays a seeded number of retransmits.
+        self.latency_multiplier = 1.0
+        self.drop_probability = 0.0
+        self.retransmits = 0
+        self._link_rng = None
+        #: Transfer processes that touch this port, abortable on crash.
+        self._inflight: set[Process] = set()
+
+    # -- fault hooks -------------------------------------------------------
+
+    def fail(self) -> None:
+        """Port goes dark: abort every tracked in-flight transfer."""
+        if not self.alive:
+            return
+        self.alive = False
+        for process in list(self._inflight):
+            process.interrupt(cause=f"{self.server.name}: NIC down")
+        self._inflight.clear()
+
+    def restore(self) -> None:
+        self.alive = True
+
+    def degrade(
+        self,
+        latency_multiplier: float = 1.0,
+        drop_probability: float = 0.0,
+        rng=None,
+    ) -> None:
+        """Apply transient link degradation (fault injection).
+
+        ``rng`` must be a seeded generator (``random()`` method) when
+        ``drop_probability`` is non-zero, so retransmission draws stay
+        deterministic for a given experiment seed.
+        """
+        if latency_multiplier < 1.0:
+            raise ValueError("latency multiplier must be >= 1")
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError("drop probability must be in [0, 1)")
+        if drop_probability > 0.0 and rng is None:
+            raise ValueError("packet loss needs a seeded rng for determinism")
+        self.latency_multiplier = latency_multiplier
+        self.drop_probability = drop_probability
+        self._link_rng = rng
+
+    def restore_link(self) -> None:
+        self.latency_multiplier = 1.0
+        self.drop_probability = 0.0
+        self._link_rng = None
+
+    def track_inflight(self, process: Process) -> None:
+        """Register a transfer process for abort-on-crash semantics."""
+        self._inflight.add(process)
+        process.add_callback(lambda _e: self._inflight.discard(process))
+
+    # -- timing ------------------------------------------------------------
 
     def _engine_time(self, size: int) -> float:
-        return self.profile.per_message_us + size / self.profile.bandwidth_bytes_per_us
+        base = self.profile.per_message_us + size / self.profile.bandwidth_bytes_per_us
+        base *= self.latency_multiplier
+        if self.drop_probability > 0.0 and self._link_rng is not None:
+            retries = 0
+            while retries < MAX_RETRIES and self._link_rng.random() < self.drop_probability:
+                retries += 1
+            if retries:
+                self.retransmits += retries
+                base *= 1 + retries
+        return base
+
+    def _check_alive(self, peer: "NicPort") -> None:
+        if not self.alive or not self.server.alive:
+            raise NetworkDown(f"{self.server.name}: NIC is down")
+        if not peer.alive or not peer.server.alive:
+            raise NetworkDown(f"{peer.server.name}: NIC is down")
+
+    def _engine(self, engine: Resource, duration: float) -> ProcessGenerator:
+        """Hold one engine slot for ``duration``, interrupt-safely."""
+        request = engine.request()
+        try:
+            yield request
+            yield self.network.sim.timeout(duration)
+        finally:
+            engine.cancel(request)
 
     def transfer(self, dst: "NicPort", size: int) -> ProcessGenerator:
         """Move ``size`` payload bytes from this port to ``dst``.
 
         Pipelined: TX engine, propagation, RX engine.  Returns total µs.
         """
+        self._check_alive(dst)
         sim = self.network.sim
         start = sim.now
-        yield self.tx.request()
-        try:
-            yield sim.timeout(self._engine_time(size))
-        finally:
-            self.tx.release()
+        yield from self._engine(self.tx, self._engine_time(size))
         yield sim.timeout(self.network.propagation_us + self.profile.processing_us)
-        yield dst.rx.request()
-        try:
-            yield sim.timeout(dst._engine_time(size))
-        finally:
-            dst.rx.release()
+        self._check_alive(dst)
+        yield from self._engine(dst.rx, dst._engine_time(size))
         self.bytes_sent += size
         self.messages_sent += 1
         dst.bytes_received += size
@@ -96,9 +191,10 @@ class NicPort:
 
     def send_control(self, dst: "NicPort") -> ProcessGenerator:
         """A small control message (request packet, ack, doorbell)."""
+        self._check_alive(dst)
         sim = self.network.sim
         yield sim.timeout(
-            self.profile.per_message_us
+            self.profile.per_message_us * self.latency_multiplier
             + self.network.propagation_us
             + self.profile.processing_us
         )

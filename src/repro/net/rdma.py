@@ -162,6 +162,8 @@ class QueuePair:
     def _require_connected(self, region: MemoryRegion) -> None:
         if not self.connected:
             raise RdmaError("queue pair is disconnected")
+        if not self.initiator.alive or not self.target.alive:
+            raise RdmaError("queue pair endpoint server is down")
         if not region.registered:
             raise RdmaError("remote region is not registered")
         if region.server is not self.target:

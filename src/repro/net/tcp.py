@@ -45,7 +45,18 @@ class TcpEndpoint:
         self.rx = Resource(sim, capacity=1, name=f"{server.name}.tcp.rx")
         self.bytes_sent = 0
         self.bytes_received = 0
+        #: Link degradation (fault injection): wire times scale by this.
+        self.latency_multiplier = 1.0
         server.tcp = self
+
+    def degrade(self, latency_multiplier: float = 1.0) -> None:
+        """Apply transient link degradation (fault injection)."""
+        if latency_multiplier < 1.0:
+            raise ValueError("latency multiplier must be >= 1")
+        self.latency_multiplier = latency_multiplier
+
+    def restore_link(self) -> None:
+        self.latency_multiplier = 1.0
 
 
 def attach_tcp(server: Server, profile: TcpProfile | None = None) -> TcpEndpoint:
@@ -75,14 +86,18 @@ class TcpChannel:
         # Wire/protocol pipe, sender side.
         yield self.src.tx.request()
         try:
-            yield self.sim.timeout(size / profile.bandwidth_bytes_per_us)
+            yield self.sim.timeout(
+                self.src.latency_multiplier * size / profile.bandwidth_bytes_per_us
+            )
         finally:
             self.src.tx.release()
         yield self.sim.timeout(profile.stack_latency_us)
         # Receiver pipe.
         yield self.dst.rx.request()
         try:
-            yield self.sim.timeout(size / self.dst.profile.bandwidth_bytes_per_us)
+            yield self.sim.timeout(
+                self.dst.latency_multiplier * size / self.dst.profile.bandwidth_bytes_per_us
+            )
         finally:
             self.dst.rx.release()
         # Receiver: interrupt handling plus copy out to user space —

@@ -30,9 +30,11 @@ from __future__ import annotations
 import enum
 from typing import Any, Iterable
 
-from ..broker import Lease, MemoryBroker
+from ..broker import BrokerUnavailable, Lease, MemoryBroker
 from ..cluster import Server
-from ..sim import Cpu, LatencyRecorder
+from ..net.fabric import NetworkDown
+from ..net.rdma import RdmaError
+from ..sim import Cpu, Interrupt, LatencyRecorder
 from ..sim.kernel import Event, ProcessGenerator
 from .staging import StagingPool
 
@@ -65,6 +67,25 @@ class AccessPolicy(enum.Enum):
 
 #: Spin budget for the adaptive policy before yielding the core.
 ADAPTIVE_SPIN_US = 25.0
+
+#: Sentinel returned by an aborted transfer process (provider crashed or
+#: the NIC interrupted it mid-flight); surfaced as RemoteMemoryUnavailable.
+_ABORTED = object()
+
+
+def _guarded(generator: ProcessGenerator) -> ProcessGenerator:
+    """Run a transfer, converting fault aborts into the sentinel.
+
+    Transfers run as spawned processes; an exception escaping a process
+    would crash the simulation loop, so fault-induced failures (kernel
+    Interrupt from a dying NIC, NetworkDown, RDMA errors from a revoked
+    region) are absorbed here and re-raised as
+    :class:`RemoteMemoryUnavailable` by the waiting side.
+    """
+    try:
+        return (yield from generator)
+    except (Interrupt, NetworkDown, RdmaError):
+        return _ABORTED
 
 
 class RemoteFile:
@@ -126,6 +147,11 @@ class RemoteFile:
     def providers(self) -> list[str]:
         return sorted({lease.provider for lease in self.leases})
 
+    def provider_of(self, offset: int) -> str:
+        """Name of the memory server backing the byte at ``offset``."""
+        lease, _mr_offset, _length = self._locate(offset, 1)[0]
+        return lease.provider
+
     # -- offset translation -------------------------------------------------
 
     def _locate(self, offset: int, size: int) -> list[tuple[Lease, int, int]]:
@@ -159,6 +185,8 @@ class RemoteFile:
             raise RemoteMemoryUnavailable(
                 f"{self.name}: lease {lease.lease_id} on {lease.provider} is {lease.state.value}"
             )
+        if not lease.region.server.alive:
+            raise RemoteMemoryUnavailable(f"{self.name}: provider {lease.provider} is down")
         qp = self._qps.get(lease.provider)
         if qp is None or not qp.connected:
             raise RemoteMemoryUnavailable(f"{self.name}: no connection to {lease.provider}")
@@ -272,14 +300,19 @@ class RemoteFile:
         slots = yield from self.staging.acquire(length)
         try:
             transfer = sim.spawn(
-                qp.read(lease.region, mr_offset, length, opaque=opaque, nodata=nodata),
+                _guarded(qp.read(lease.region, mr_offset, length, opaque=opaque, nodata=nodata)),
                 name=f"{self.name}.rdma_read",
             )
+            lease.region.server.nic.track_inflight(transfer)
             issued_at = sim.now
             transfer.add_callback(
                 lambda _e: self.io_latency.record(sim.now - issued_at)
             )
             value = yield from self._wait(cpu, transfer, background=background)
+            if value is _ABORTED:
+                raise RemoteMemoryUnavailable(
+                    f"{self.name}: read aborted, provider {lease.provider} failed"
+                )
             # Copy from the staging MR into the destination buffer.
             yield from cpu.compute(self.staging.memcpy_us(length))
         finally:
@@ -308,14 +341,17 @@ class RemoteFile:
             yield from cpu.compute(self.staging.memcpy_us(length))
             if payload is not None:
                 transfer = sim.spawn(
-                    qp.write(lease.region, mr_offset, payload=payload),
+                    _guarded(qp.write(lease.region, mr_offset, payload=payload)),
                     name=f"{self.name}.rdma_write",
                 )
             else:
                 transfer = sim.spawn(
-                    qp.write(lease.region, mr_offset, size=length, obj=obj, nodata=nodata),
+                    _guarded(
+                        qp.write(lease.region, mr_offset, size=length, obj=obj, nodata=nodata)
+                    ),
                     name=f"{self.name}.rdma_write",
                 )
+            lease.region.server.nic.track_inflight(transfer)
             if fire_and_forget:
                 # The staging slots stay reserved until the RDMA write
                 # completes; a bounded slot pool throttles runaway
@@ -323,7 +359,11 @@ class RemoteFile:
                 released = True
                 transfer.add_callback(lambda _e: self.staging.release(slots))
                 return
-            yield from self._wait(cpu, transfer)
+            value = yield from self._wait(cpu, transfer)
+            if value is _ABORTED:
+                raise RemoteMemoryUnavailable(
+                    f"{self.name}: write aborted, provider {lease.provider} failed"
+                )
         finally:
             if not released:
                 self.staging.release(slots)
@@ -375,12 +415,20 @@ class RemoteMemoryFilesystem:
         self.files.pop(file.name, None)
 
     def renewal_daemon(self, file: RemoteFile, period_us: float | None = None):
-        """Keep the file's leases alive; exits when any renewal fails."""
+        """Keep the file's leases alive; exits when any renewal fails.
+
+        A broker that is merely restarting (:class:`BrokerUnavailable`)
+        is not a lost lease: the daemon skips the round and retries next
+        period, relying on the lease duration to ride out the downtime.
+        """
         period = period_us if period_us is not None else self.broker.lease_duration_us / 2
         while file.is_open:
             yield self.owner.sim.timeout(period)
             for lease in file.leases:
-                ok = yield from self.broker.renew(lease)
+                try:
+                    ok = yield from self.broker.renew(lease)
+                except BrokerUnavailable:
+                    break
                 if not ok:
                     return False
         return True

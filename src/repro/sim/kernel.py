@@ -292,6 +292,24 @@ class Resource:
             raise SimulationError(f"resource {self.name!r} over-released")
         self._grant()
 
+    def cancel(self, request: Event) -> None:
+        """Abandon a grant request (interrupt-safe teardown).
+
+        If the request was already granted, the capacity is released; if
+        it is still queued, it is forgotten.  Processes that can be
+        interrupted while waiting for a grant must use this instead of a
+        bare ``release`` so capacity is never leaked either way.
+        """
+        if not isinstance(request, _Request) or request.resource is not self:
+            raise SimulationError("cancel() takes a request issued by this resource")
+        if request.triggered:
+            self.release(request.amount)
+            return
+        try:
+            self._queue.remove(request)
+        except ValueError:
+            pass
+
     def _grant(self) -> None:
         while self._queue and self.in_use + self._queue[0].amount <= self.capacity:
             req = self._queue.popleft()

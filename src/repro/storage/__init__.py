@@ -1,6 +1,16 @@
 """Storage substrate: HDD spindles, RAID-0, SSD, RAM-backed devices."""
 
-from .device import GB, KB, MB, PAGE_SIZE, BlockDevice, DramDevice, IoOp, RamDrive
+from .device import (
+    GB,
+    KB,
+    MB,
+    PAGE_SIZE,
+    BlockDevice,
+    DeviceUnavailable,
+    DramDevice,
+    IoOp,
+    RamDrive,
+)
 from .hdd import HDD_PROFILE, HddSpindle, Raid0Array
 from .ssd import SSD_PROFILE, SsdDevice
 
@@ -10,6 +20,7 @@ __all__ = [
     "MB",
     "PAGE_SIZE",
     "BlockDevice",
+    "DeviceUnavailable",
     "DramDevice",
     "HDD_PROFILE",
     "HddSpindle",

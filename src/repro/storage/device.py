@@ -20,7 +20,17 @@ from enum import Enum
 from ..sim import Event, LatencyRecorder, Simulator, TimeSeries
 from ..sim.kernel import ProcessGenerator
 
-__all__ = ["IoOp", "BlockDevice", "DramDevice", "RamDrive", "KB", "MB", "GB", "PAGE_SIZE"]
+__all__ = [
+    "IoOp",
+    "BlockDevice",
+    "DeviceUnavailable",
+    "DramDevice",
+    "RamDrive",
+    "KB",
+    "MB",
+    "GB",
+    "PAGE_SIZE",
+]
 
 KB = 1024
 MB = 1024 * KB
@@ -33,6 +43,10 @@ PAGE_SIZE = 8 * KB
 class IoOp(Enum):
     READ = "read"
     WRITE = "write"
+
+
+class DeviceUnavailable(RuntimeError):
+    """The device's host server is down (fault injection)."""
 
 
 class BlockDevice(abc.ABC):
@@ -48,6 +62,9 @@ class BlockDevice(abc.ABC):
         self.reads = 0
         self.writes = 0
         self.throughput_series: TimeSeries | None = None
+        #: Host server, set by :meth:`repro.cluster.Server.attach_device`;
+        #: submissions are refused while the host is down.
+        self.owner = None
 
     def track_throughput(self, bucket_us: float = 1e6) -> TimeSeries:
         """Start recording bytes-moved per time bucket (drill-downs)."""
@@ -76,6 +93,8 @@ class BlockDevice(abc.ABC):
 
     def submit(self, op: IoOp, offset: int, size: int) -> Event:
         """Fire-and-collect variant of :meth:`io`."""
+        if self.owner is not None and not self.owner.alive:
+            raise DeviceUnavailable(f"{self.name}: host server is down")
         return self.sim.spawn(self.io(op, offset, size), name=f"{self.name}.{op.value}")
 
     def read(self, offset: int, size: int) -> ProcessGenerator:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from ..sim import Simulator
 from ..sim.kernel import ProcessGenerator
-from .device import GB, MB, BlockDevice, IoOp
+from .device import MB, BlockDevice, IoOp
 
 __all__ = ["SsdDevice", "SSD_PROFILE"]
 

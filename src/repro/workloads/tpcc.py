@@ -222,7 +222,7 @@ def new_order(state: TpccState, rng, config: TpccConfig, district: int) -> Proce
     lock = state.district_locks[district]
     yield lock.request()
     try:
-        rows = yield from state.district.clustered.search(district)
+        yield from state.district.clustered.search(district)
         record = yield from db.wal.log_update("district", district, None, LogRecordKind.UPDATE)
         yield from state.district.clustered.update_where(
             district, lambda row: (row[0], row[1] + 1, row[2], row[3]), lsn=record.lsn

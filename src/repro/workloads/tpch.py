@@ -281,7 +281,6 @@ def _spill_join_topn(db, tables, rng, order_fraction: float, top_n: int):
     """Q10/Q18 shape: big hash join + top-N sort, grant-capped -> spills."""
     orders = tables["orders"]
     lineitem = tables["lineitem"]
-    scale: TpchScale = tables["_scale"]
     cutoff = int(DATE_SPAN * order_fraction)
     date_idx = ORDERS.index_of("orderdate")
     join = HashJoin(

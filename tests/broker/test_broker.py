@@ -3,6 +3,7 @@
 import pytest
 
 from repro.broker import (
+    BrokerUnavailable,
     CasConflict,
     InsufficientMemory,
     LeaseState,
@@ -267,3 +268,172 @@ class TestDaemons:
                                                  watermark_bytes=512 * MB))
         cluster.sim.run(until=cluster.sim.now + 2e6)
         assert server.memory_available >= 512 * MB
+
+class TestExpiryMechanics:
+    def test_check_expiry_returns_only_newly_expired(self):
+        cluster, db, broker, proxies = make_cluster(memory_servers=1, spare_gb=1)
+        complete(cluster.sim, proxies[0].offer_available())
+        leases = complete(cluster.sim, broker.acquire("db", 32 * MB))
+        cluster.sim.run(until=cluster.sim.now + broker.lease_duration_us + 1)
+        first = broker.check_expiry()
+        assert sorted(l.lease_id for l in first) == sorted(l.lease_id for l in leases)
+        assert broker.check_expiry() == []  # second sweep finds nothing new
+
+    def test_renewal_race_with_expiry_sweep(self):
+        """A renew that arrives after the sweep at the expiry instant
+        loses: the lease is already EXPIRED and cannot be revived."""
+        cluster, db, broker, proxies = make_cluster(memory_servers=1, spare_gb=1)
+        complete(cluster.sim, proxies[0].offer_available())
+        (lease, *_rest) = complete(cluster.sim, broker.acquire("db", 16 * MB))
+        cluster.sim.run(until=lease.expires_at_us + 1)
+        broker.check_expiry()
+        assert lease.state is LeaseState.EXPIRED
+        assert complete(cluster.sim, broker.renew(lease)) is False
+        assert lease.state is LeaseState.EXPIRED
+
+    def test_renewal_just_before_expiry_wins(self):
+        cluster, db, broker, proxies = make_cluster(memory_servers=1, spare_gb=1)
+        complete(cluster.sim, proxies[0].offer_available())
+        (lease, *_rest) = complete(cluster.sim, broker.acquire("db", 16 * MB))
+        cluster.sim.run(until=lease.expires_at_us - 300)
+        assert complete(cluster.sim, broker.renew(lease)) is True
+        broker.check_expiry()
+        assert lease.state is LeaseState.ACTIVE
+
+    def test_revoke_one_prefers_oldest_lease(self):
+        cluster, db, broker, proxies = make_cluster(memory_servers=1, spare_gb=1)
+        complete(cluster.sim, proxies[0].offer_available())
+        first = complete(cluster.sim, broker.acquire("db", 16 * MB))[0]
+        second = complete(cluster.sim, broker.acquire("db", 16 * MB))[0]
+        revoked = complete(cluster.sim, broker.revoke_one("mem0"))
+        assert revoked is first
+        assert first.state is LeaseState.REVOKED
+        assert second.state is LeaseState.ACTIVE
+
+    def test_revoke_one_without_leases_returns_none(self):
+        cluster, db, broker, proxies = make_cluster(memory_servers=1, spare_gb=1)
+        complete(cluster.sim, proxies[0].offer_available())
+        assert complete(cluster.sim, broker.revoke_one("mem0")) is None
+
+    def test_force_expire_returns_regions_to_pool(self):
+        cluster, db, broker, proxies = make_cluster(memory_servers=1, spare_gb=1)
+        complete(cluster.sim, proxies[0].offer_available())
+        leases = complete(cluster.sim, broker.acquire("db", 64 * MB))
+        before = broker.available_bytes("mem0")
+        expired = broker.force_expire(leases)
+        assert len(expired) == len(leases)
+        assert broker.available_bytes("mem0") == before + 64 * MB
+
+    def test_expiry_during_inflight_transfer(self):
+        """One-sided RDMA in flight when the lease expires still lands;
+        the *next* access sees the invalid lease and fails cleanly."""
+        from repro.engine.files import RemoteMemoryUnavailable
+        from repro.remotefile import RemoteMemoryFilesystem, StagingPool
+
+        cluster, db, broker, proxies = make_cluster(memory_servers=1, spare_gb=1)
+        fs = RemoteMemoryFilesystem(db, broker, StagingPool(db))
+
+        def setup():
+            yield from fs.initialize()
+            yield from proxies[0].offer_available()
+            file = yield from fs.create("f", 64 * MB)
+            yield from file.open()
+            return file
+
+        file = complete(cluster.sim, setup())
+        outcomes = []
+
+        def reader():
+            try:
+                yield from file.read_nodata(0, 4 * MB)  # long transfer
+                outcomes.append("ok")
+            except RemoteMemoryUnavailable:
+                outcomes.append("failed")
+
+        def expirer():
+            yield cluster.sim.timeout(50)  # mid-transfer
+            broker.force_expire(broker.leases_for(holder="db"))
+
+        process = cluster.sim.spawn(reader())
+        cluster.sim.spawn(expirer())
+        cluster.sim.run_until_complete(process)
+        assert outcomes == ["ok"]
+
+        def reader_again():
+            yield from file.read_nodata(0, 8192)
+
+        with pytest.raises(RemoteMemoryUnavailable):
+            complete(cluster.sim, reader_again())
+
+
+class TestBrokerFailover:
+    def test_rpcs_fail_while_broker_down(self):
+        cluster, db, broker, proxies = make_cluster(memory_servers=1, spare_gb=1)
+        complete(cluster.sim, proxies[0].offer_available())
+        broker.fail()
+        with pytest.raises(BrokerUnavailable):
+            complete(cluster.sim, broker.acquire("db", 16 * MB))
+
+    def test_dead_broker_stops_expiry_sweeps(self):
+        cluster, db, broker, proxies = make_cluster(memory_servers=1, spare_gb=1)
+        complete(cluster.sim, proxies[0].offer_available())
+        leases = complete(cluster.sim, broker.acquire("db", 16 * MB))
+        broker.fail()
+        cluster.sim.run(until=cluster.sim.now + broker.lease_duration_us + 1)
+        assert broker.check_expiry() == []
+        assert leases[0].state is LeaseState.ACTIVE  # nobody swept it
+
+    def test_recover_with_replay_keeps_active_leases(self):
+        """Paper Section 4.2: broker state lives in the replicated
+        metadata store, so a new broker instance re-learns the leases."""
+        cluster, db, broker, proxies = make_cluster(memory_servers=1, spare_gb=1)
+        complete(cluster.sim, proxies[0].offer_available())
+        leases = complete(cluster.sim, broker.acquire("db", 64 * MB))
+        broker.fail()
+        survivors = complete(cluster.sim, broker.recover(replay=True))
+        assert sorted(l.lease_id for l in survivors) == sorted(l.lease_id for l in leases)
+        assert all(l.state is LeaseState.ACTIVE for l in leases)
+        assert broker.alive
+
+    def test_recover_without_replay_revokes_everything(self):
+        cluster, db, broker, proxies = make_cluster(memory_servers=1, spare_gb=1)
+        complete(cluster.sim, proxies[0].offer_available())
+        leases = complete(cluster.sim, broker.acquire("db", 64 * MB))
+        broker.fail()
+        survivors = complete(cluster.sim, broker.recover(replay=False))
+        assert survivors == []
+        assert all(l.state is LeaseState.REVOKED for l in leases)
+
+    def test_recover_sweeps_leases_that_expired_during_downtime(self):
+        cluster, db, broker, proxies = make_cluster(memory_servers=1, spare_gb=1)
+        complete(cluster.sim, proxies[0].offer_available())
+        leases = complete(cluster.sim, broker.acquire("db", 16 * MB))
+        broker.fail()
+        cluster.sim.run(until=cluster.sim.now + broker.lease_duration_us + 1)
+        survivors = complete(cluster.sim, broker.recover(replay=True))
+        assert survivors == []
+        assert leases[0].state is LeaseState.EXPIRED
+
+    def test_fail_provider_revokes_without_recycling_regions(self):
+        cluster, db, broker, proxies = make_cluster(memory_servers=2, spare_gb=1)
+        for proxy in proxies:
+            complete(cluster.sim, proxy.offer_available())
+        leases = complete(
+            cluster.sim, broker.acquire("db", 32 * MB, providers=["mem0"])
+        )
+        revoked = complete(cluster.sim, broker.fail_provider("mem0"))
+        assert sorted(l.lease_id for l in revoked) == sorted(l.lease_id for l in leases)
+        assert all(l.state is LeaseState.REVOKED for l in leases)
+        # Dead regions must NOT return to the available pool...
+        assert broker.available_bytes("mem0") == 0
+        # ...and the survivor provider is untouched.
+        assert broker.available_bytes("mem1") == 1 * GB
+
+    def test_fail_provider_notifies_holder(self):
+        cluster, db, broker, proxies = make_cluster(memory_servers=1, spare_gb=1)
+        complete(cluster.sim, proxies[0].offer_available())
+        complete(cluster.sim, broker.acquire("db", 16 * MB))
+        seen = []
+        broker.revocation_listeners["db"] = seen.append
+        complete(cluster.sim, broker.fail_provider("mem0"))
+        assert len(seen) == 1

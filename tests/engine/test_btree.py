@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.engine.bufferpool import BufferPool
 from repro.engine.btree import BTree
 from repro.engine.files import DevicePageFile
-from repro.engine.page import PageKind
 
 
 def make_tree(rig, rows, leaf_capacity=8, pool_pages=512):

@@ -5,7 +5,6 @@ import pytest
 from repro.engine.bufferpool import BufferPool, BufferPoolExtension
 from repro.engine.files import DevicePageFile, RemotePageFile
 from repro.engine.page import Page
-from repro.storage import MB
 
 
 def make_pool(rig, capacity=8, extension_store=None, file_device=None):
@@ -220,3 +219,113 @@ class TestPrefetch:
         pool.register_file(data2)
         pool.prefetch(2, list(range(PREFETCH_CONCURRENCY * 2)))
         assert pool._prefetch_active <= PREFETCH_CONCURRENCY
+
+
+class TestExtensionFaultHooks:
+    """The BPExt side of the fault-injection surface."""
+
+    def make_remote_ext_pool(self, rig, capacity=4, ext_pages=16):
+        remote_file = rig.make_remote_file("bpext-faults", ext_pages * 8192)
+        store = RemotePageFile(50, remote_file)
+        pool, data = make_pool(rig, capacity=capacity, extension_store=store)
+        return pool, data, store
+
+    def test_on_failure_frees_slot_for_reuse(self, rig):
+        """A failed slot goes back on the free list instead of leaking."""
+        pool, _data, _store = self.make_remote_ext_pool(rig)
+        ext = pool.extension
+        for n in range(5):  # park page 0
+            rig.run(pool.get_page(1, n))
+        assert ext.contains((1, 0))
+        slot = ext._slots[(1, 0)]
+        free_before = len(ext._free)
+        ext._on_failure((1, 0), slot)
+        assert not ext.contains((1, 0))
+        assert slot in ext._free
+        assert len(ext._free) == free_before + 1
+        assert ext.failures == 1
+
+    def test_on_failure_is_idempotent_per_slot(self, rig):
+        """Two concurrent accesses can both observe the same failure;
+        the slot must not be double-freed."""
+        pool, _data, _store = self.make_remote_ext_pool(rig)
+        ext = pool.extension
+        for n in range(5):
+            rig.run(pool.get_page(1, n))
+        slot = ext._slots[(1, 0)]
+        ext._on_failure((1, 0), slot)
+        ext._on_failure((1, 0), slot)  # second observer of the same loss
+        assert ext._free.count(slot) == 1
+
+    def test_failed_page_refaults_from_base_and_reparks(self, rig):
+        """Satellite fix: after a remote failure the page re-faults from
+        the base file, and the freed slot is reusable for a re-park."""
+        pool, data, _store = self.make_remote_ext_pool(rig, capacity=4, ext_pages=4)
+        ext = pool.extension
+        for n in range(5):
+            rig.run(pool.get_page(1, n))
+        assert ext.contains((1, 0))
+        # Remote memory vanishes (lease expiry).
+        rig.sim.run(until=rig.sim.now + rig.broker.lease_duration_us + 1)
+        base_reads = data.page_reads
+        page = rig.run(pool.get_page(1, 0))
+        assert page.rows == [(0, "row0")]
+        assert data.page_reads == base_reads + 1
+        # Every dead slot was reclaimed, none leaked.
+        dead = ext.failures
+        assert dead >= 1
+        assert len(ext._free) + len(ext._slots) == ext.capacity_pages
+
+    def test_fault_listeners_observe_access_time_failures(self, rig):
+        pool, _data, _store = self.make_remote_ext_pool(rig)
+        ext = pool.extension
+        seen = []
+        ext.fault_listeners.append(seen.append)
+        for n in range(5):
+            rig.run(pool.get_page(1, n))
+        rig.sim.run(until=rig.sim.now + rig.broker.lease_duration_us + 1)
+        rig.run(pool.get_page(1, 0))
+        assert (1, 0) in seen
+
+    def test_on_fault_sweeps_provider_slots(self, rig):
+        pool, _data, _store = self.make_remote_ext_pool(rig)
+        ext = pool.extension
+        for n in range(6):
+            rig.run(pool.get_page(1, n))
+        parked = len(ext._slots)
+        assert parked >= 1
+        # A provider the store does not use loses nothing...
+        assert ext.on_fault(provider="mem-elsewhere") == []
+        assert len(ext._slots) == parked
+        # ...the real provider loses everything it backs.
+        lost = ext.on_fault(provider="mem0")
+        assert len(lost) == parked
+        assert len(ext._slots) == 0
+        assert ext.pages_lost_to_faults == parked
+        assert len(ext._free) == ext.capacity_pages
+
+    def test_on_fault_without_provider_sweeps_everything(self, rig):
+        pool, _data, _store = self.make_remote_ext_pool(rig)
+        ext = pool.extension
+        for n in range(6):
+            rig.run(pool.get_page(1, n))
+        parked = len(ext._slots)
+        lost = ext.on_fault()
+        assert len(lost) == parked and not ext._slots
+
+    def test_replace_store_resets_and_rewarms(self, rig):
+        pool, _data, _store = self.make_remote_ext_pool(rig, ext_pages=16)
+        ext = pool.extension
+        for n in range(5):
+            rig.run(pool.get_page(1, n))
+        assert ext._slots
+        new_file = rig.make_remote_file("bpext-faults-2", 16 * 8192)
+        new_store = RemotePageFile(50, new_file, capacity_pages=16)
+        ext.replace_store(new_store)
+        assert ext.store is new_store
+        assert not ext._slots and len(ext._free) == 16
+        assert ext.enabled
+        # The extension re-warms through normal eviction traffic.
+        for n in range(8, 13):
+            rig.run(pool.get_page(1, n))
+        assert ext._slots  # fresh pages parked in the new store

@@ -1,6 +1,5 @@
 """Tests for physical operators: correctness and spill behaviour."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,100 @@
+"""ChaosMonkey: seeded continuous fault sampling."""
+
+import numpy as np
+
+from repro.broker import MemoryBroker, MemoryProxy
+from repro.cluster import Cluster
+from repro.faults import ChaosMonkey, FaultEngine, FaultKind, RecoveryMonitor
+from repro.net import Network
+from repro.storage import GB, MB
+
+
+def make_engine(seed=3):
+    cluster = Cluster(seed=seed)
+    network = Network(cluster.sim)
+    db = cluster.add_server("db", memory_bytes=32 * GB)
+    network.attach(db)
+    broker = MemoryBroker(cluster.sim)
+    proxies = {}
+    for index in range(2):
+        server = cluster.add_server(f"mem{index}", memory_bytes=64 * GB)
+        network.attach(server)
+        server.commit_memory(server.memory_bytes - 1 * GB)
+        proxies[server.name] = MemoryProxy(server, broker, mr_bytes=16 * MB)
+
+    def setup():
+        for proxy in proxies.values():
+            yield from proxy.offer_available()
+        yield from broker.acquire("db", 256 * MB, spread=True)
+
+    cluster.sim.run_until_complete(cluster.sim.spawn(setup()))
+    engine = FaultEngine(
+        sim=cluster.sim,
+        servers=dict(cluster.servers),
+        broker=broker,
+        proxies=proxies,
+        monitor=RecoveryMonitor(cluster.sim),
+        rng=cluster.rng.stream("faults"),
+    )
+    return cluster, engine
+
+
+def test_monkey_fires_faults_over_time():
+    cluster, engine = make_engine()
+    monkey = ChaosMonkey(engine, np.random.default_rng(5), mean_interval_us=0.2e6)
+    monkey.start()
+    cluster.sim.run(until=cluster.sim.now + 3e6)
+    assert len(monkey.fired) >= 3
+    assert engine.faults_fired == len(monkey.fired)
+
+
+def test_monkey_defaults_exclude_permanent_crashes():
+    cluster, engine = make_engine()
+    monkey = ChaosMonkey(engine, np.random.default_rng(5), mean_interval_us=0.1e6)
+    monkey.start()
+    cluster.sim.run(until=cluster.sim.now + 5e6)
+    assert all(s.kind is not FaultKind.MEMORY_SERVER_CRASH for s in monkey.fired)
+
+
+def test_monkey_targets_default_to_proxied_servers():
+    _cluster, engine = make_engine()
+    monkey = ChaosMonkey(engine, np.random.default_rng(5))
+    assert monkey.targets == ["mem0", "mem1"]
+
+
+def test_same_seed_fires_identical_sequences():
+    traces = []
+    for _ in range(2):
+        cluster, engine = make_engine(seed=9)
+        monkey = ChaosMonkey(engine, np.random.default_rng(21), mean_interval_us=0.2e6)
+        monkey.start()
+        cluster.sim.run(until=cluster.sim.now + 4e6)
+        traces.append(
+            [(s.at_us, s.kind, s.target, s.duration_us, tuple(sorted(s.params.items())))
+             for s in monkey.fired]
+        )
+    assert traces[0] and traces[0] == traces[1]
+
+
+def test_stop_halts_sampling():
+    cluster, engine = make_engine()
+    monkey = ChaosMonkey(engine, np.random.default_rng(5), mean_interval_us=0.2e6)
+    monkey.start()
+    cluster.sim.run(until=cluster.sim.now + 1e6)
+    monkey.stop()
+    fired = len(monkey.fired)
+    cluster.sim.run(until=cluster.sim.now + 5e6)
+    assert len(monkey.fired) == fired
+
+
+def test_restart_after_stop():
+    cluster, engine = make_engine()
+    monkey = ChaosMonkey(engine, np.random.default_rng(5), mean_interval_us=0.2e6)
+    monkey.start()
+    cluster.sim.run(until=cluster.sim.now + 1e6)
+    monkey.stop()
+    cluster.sim.run(until=cluster.sim.now + 1e6)
+    fired = len(monkey.fired)
+    monkey.start()
+    cluster.sim.run(until=cluster.sim.now + 1e6)
+    assert len(monkey.fired) > fired

@@ -1,0 +1,109 @@
+"""Tests for FaultSpec/FaultPlan: validation, ordering, seeded storms."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+
+
+class TestFaultSpec:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(-1, FaultKind.MEMORY_SERVER_CRASH, "mem0")
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(0, FaultKind.MEMORY_SERVER_CRASH, "mem0", duration_us=-5)
+
+    def test_string_kind_coerced(self):
+        spec = FaultSpec(0, "memory-server-crash", "mem0")
+        assert spec.kind is FaultKind.MEMORY_SERVER_CRASH
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(0, "power-surge", "mem0")
+
+    def test_restore_time(self):
+        timed = FaultSpec(100, FaultKind.LINK_DEGRADATION, "mem0", duration_us=50)
+        permanent = FaultSpec(100, FaultKind.MEMORY_SERVER_CRASH, "mem0")
+        assert timed.restore_at_us == 150
+        assert permanent.restore_at_us is None
+
+
+class TestFaultPlan:
+    def test_specs_replay_in_time_order(self):
+        plan = (
+            FaultPlan()
+            .crash(300, "mem1")
+            .lease_storm(100)
+            .degrade_link(200, "mem0", 50, latency_multiplier=2.0)
+        )
+        assert [spec.at_us for spec in plan] == [100, 200, 300]
+
+    def test_ties_fire_in_declaration_order(self):
+        plan = FaultPlan().crash(100, "a").crash(100, "b").crash(100, "c")
+        assert [spec.target for spec in plan.sorted_specs()] == ["a", "b", "c"]
+
+    def test_builders_set_kind_and_params(self):
+        plan = (
+            FaultPlan()
+            .crash(1, "mem0", duration_us=10)
+            .degrade_link(2, "mem1", 20, latency_multiplier=4.0, drop_probability=0.1)
+            .lease_storm(3, fraction=0.5, provider="mem0")
+            .broker_restart(4, 30, replay=False)
+        )
+        crash, degrade, storm, restart = plan.sorted_specs()
+        assert crash.kind is FaultKind.MEMORY_SERVER_CRASH
+        assert degrade.params == {"latency_multiplier": 4.0, "drop_probability": 0.1}
+        assert storm.params == {"fraction": 0.5} and storm.target == "mem0"
+        assert restart.params == {"replay": False}
+
+    def test_len_and_describe(self):
+        plan = FaultPlan().crash(5, "mem0")
+        assert len(plan) == 1
+        assert "memory-server-crash" in plan.describe()
+
+
+class TestRandomStorm:
+    def test_same_seed_same_plan(self):
+        make = lambda: FaultPlan.random_storm(  # noqa: E731
+            np.random.default_rng(123),
+            horizon_us=20e6,
+            mean_interval_us=1e6,
+            targets=["mem0", "mem1"],
+            seed=123,
+        )
+        first, second = make(), make()
+        assert len(first) > 0
+        assert [
+            (s.at_us, s.kind, s.target, s.duration_us, s.params) for s in first
+        ] == [(s.at_us, s.kind, s.target, s.duration_us, s.params) for s in second]
+
+    def test_different_seed_different_plan(self):
+        first = FaultPlan.random_storm(
+            np.random.default_rng(1), 20e6, 1e6, ["mem0"], seed=1
+        )
+        second = FaultPlan.random_storm(
+            np.random.default_rng(2), 20e6, 1e6, ["mem0"], seed=2
+        )
+        assert [s.at_us for s in first] != [s.at_us for s in second]
+
+    def test_all_faults_within_horizon(self):
+        plan = FaultPlan.random_storm(np.random.default_rng(7), 5e6, 0.2e6, ["mem0"])
+        assert plan.specs
+        assert all(0 <= spec.at_us < 5e6 for spec in plan.specs)
+
+    def test_targets_required(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random_storm(np.random.default_rng(0), 1e6, 1e5, [])
+
+    def test_kind_restriction_respected(self):
+        plan = FaultPlan.random_storm(
+            np.random.default_rng(0),
+            20e6,
+            0.5e6,
+            ["mem0"],
+            kinds=[FaultKind.LEASE_EXPIRY_STORM],
+        )
+        assert plan.specs
+        assert all(s.kind is FaultKind.LEASE_EXPIRY_STORM for s in plan.specs)

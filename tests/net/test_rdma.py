@@ -11,7 +11,7 @@ from repro.net import (
     RdmaError,
     RdmaRegistrar,
 )
-from repro.storage import GB, KB, MB
+from repro.storage import KB, MB
 
 
 def make_pair():

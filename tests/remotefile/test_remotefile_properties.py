@@ -1,6 +1,5 @@
 """Property-based tests for the remote-memory file API."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,247 @@
+"""Interrupt propagation through composite events and resource teardown.
+
+The fault injectors interrupt processes that are blocked deep inside
+``AllOf``/``AnyOf`` composites or waiting on ``Resource`` grants; these
+tests pin down the kernel semantics the injectors rely on.
+"""
+
+import pytest
+
+from repro.sim import Interrupt, SimulationError, Simulator
+
+
+class TestInterruptThroughComposites:
+    def test_interrupt_while_waiting_on_all_of(self):
+        sim = Simulator()
+        log = []
+
+        def waiter():
+            try:
+                yield sim.all_of([sim.timeout(100), sim.timeout(200)])
+            except Interrupt as intr:
+                log.append((sim.now, intr.cause))
+
+        process = sim.spawn(waiter())
+
+        def interrupter():
+            yield sim.timeout(30)
+            process.interrupt(cause="crash")
+
+        sim.spawn(interrupter())
+        sim.run()
+        assert log == [(30.0, "crash")]
+
+    def test_interrupt_while_waiting_on_any_of(self):
+        sim = Simulator()
+        log = []
+
+        def waiter():
+            try:
+                yield sim.any_of([sim.timeout(100), sim.timeout(200)])
+            except Interrupt as intr:
+                log.append((sim.now, intr.cause))
+
+        process = sim.spawn(waiter())
+
+        def interrupter():
+            yield sim.timeout(5)
+            process.interrupt(cause="nic down")
+
+        sim.spawn(interrupter())
+        sim.run()
+        assert log == [(5.0, "nic down")]
+
+    def test_composite_children_unaffected_by_interrupt(self):
+        """Interrupting the waiter must not cancel the child events:
+        other processes waiting on them still complete."""
+        sim = Simulator()
+        shared = sim.timeout(50, value="done")
+        results = []
+
+        def victim():
+            try:
+                yield sim.all_of([shared, sim.timeout(500)])
+            except Interrupt:
+                results.append(("victim", sim.now))
+
+        def bystander():
+            value = yield shared
+            results.append(("bystander", sim.now, value))
+
+        process = sim.spawn(victim())
+        sim.spawn(bystander())
+
+        def interrupter():
+            yield sim.timeout(10)
+            process.interrupt()
+
+        sim.spawn(interrupter())
+        sim.run()
+        assert ("victim", 10.0) in results
+        assert ("bystander", 50.0, "done") in results
+
+    def test_all_of_completion_after_interrupt_does_not_resume_victim(self):
+        sim = Simulator()
+        resumed = []
+
+        def victim():
+            try:
+                yield sim.all_of([sim.timeout(20)])
+            except Interrupt:
+                yield sim.timeout(1000)  # lives on, doing something else
+            resumed.append(sim.now)
+
+        process = sim.spawn(victim())
+
+        def interrupter():
+            yield sim.timeout(5)
+            process.interrupt()
+
+        sim.spawn(interrupter())
+        sim.run()
+        # Exactly one resumption path: the interrupt handler, not the AllOf.
+        assert resumed == [1005.0]
+
+    def test_uncaught_interrupt_kills_process_silently(self):
+        sim = Simulator()
+
+        def naive():
+            yield sim.all_of([sim.timeout(100)])
+            return "unreachable"
+
+        process = sim.spawn(naive())
+
+        def interrupter():
+            yield sim.timeout(3)
+            process.interrupt()
+
+        sim.spawn(interrupter())
+        sim.run()
+        assert not process.is_alive
+        assert process.value is None
+
+    def test_interrupt_process_blocked_on_another_process(self):
+        sim = Simulator()
+        log = []
+
+        def child():
+            yield sim.timeout(1000)
+            return "child done"
+
+        def parent():
+            try:
+                yield sim.spawn(child())
+            except Interrupt as intr:
+                log.append((sim.now, intr.cause))
+
+        process = sim.spawn(parent())
+
+        def interrupter():
+            yield sim.timeout(40)
+            process.interrupt(cause="abort")
+
+        sim.spawn(interrupter())
+        sim.run()
+        assert log == [(40.0, "abort")]
+
+
+class TestResourceCancel:
+    def test_cancel_queued_request_dequeues_it(self):
+        sim = Simulator()
+        resource = sim.resource(capacity=1)
+        order = []
+
+        def holder():
+            yield resource.request()
+            yield sim.timeout(100)
+            resource.release()
+
+        def canceller():
+            request = resource.request()
+            abort = sim.timeout(10)
+            index, _value = yield sim.any_of([request, abort])
+            resource.cancel(request)
+            order.append(("cancelled", sim.now, index))
+
+        def third():
+            yield sim.timeout(1)
+            yield resource.request()
+            order.append(("third granted", sim.now))
+            resource.release()
+
+        sim.spawn(holder())
+        sim.spawn(canceller())
+        sim.spawn(third())
+        sim.run()
+        # The cancelled request must not absorb the grant: "third" gets
+        # the resource as soon as the holder releases.
+        assert ("cancelled", 10.0, 1) in order
+        assert ("third granted", 100.0) in order
+
+    def test_cancel_granted_request_releases_capacity(self):
+        sim = Simulator()
+        resource = sim.resource(capacity=1)
+        granted = []
+
+        def first():
+            request = resource.request()
+            yield request
+            yield sim.timeout(5)
+            resource.cancel(request)  # triggered -> behaves like release
+
+        def second():
+            yield resource.request()
+            granted.append(sim.now)
+            resource.release()
+
+        sim.spawn(first())
+        sim.spawn(second())
+        sim.run()
+        assert granted == [5.0]
+        assert resource.in_use == 0
+
+    def test_cancel_foreign_event_rejected(self):
+        sim = Simulator()
+        resource = sim.resource(capacity=1)
+        with pytest.raises(SimulationError):
+            resource.cancel(sim.event())
+
+    def test_cancel_request_of_other_resource_rejected(self):
+        sim = Simulator()
+        first = sim.resource(capacity=1)
+        second = sim.resource(capacity=1)
+        request = first.request()
+        with pytest.raises(SimulationError):
+            second.cancel(request)
+
+    def test_interrupted_waiter_with_cancel_leaks_nothing(self):
+        """The NicPort._engine pattern: request in try, cancel in finally."""
+        sim = Simulator()
+        resource = sim.resource(capacity=1)
+        completions = []
+
+        def engine_user(name, hold):
+            request = resource.request()
+            try:
+                yield request
+                yield sim.timeout(hold)
+                completions.append((name, sim.now))
+            finally:
+                resource.cancel(request)
+
+        def run_wrapped(name, hold):
+            # Uncaught Interrupt unwinds through the finally block.
+            yield from engine_user(name, hold)
+
+        victim = sim.spawn(run_wrapped("victim", 1000))
+        sim.spawn(run_wrapped("patient", 50))
+
+        def interrupter():
+            yield sim.timeout(10)
+            victim.interrupt(cause="link down")
+
+        sim.spawn(interrupter())
+        sim.run()
+        # Victim died at t=10; the patient then acquires and finishes.
+        assert completions == [("patient", 60.0)]
+        assert resource.in_use == 0

@@ -1,7 +1,5 @@
 """Tests for the spindle's elevator scheduling and track cache."""
 
-import pytest
-
 from repro.sim import Simulator
 from repro.storage import GB, KB, MB, HddSpindle, IoOp
 
