@@ -184,16 +184,25 @@ class MemoryBroker:
         bytes_needed: int,
         providers: Iterable[str] | None = None,
         spread: bool = False,
+        avoid: Iterable[str] = (),
     ) -> ProcessGenerator:
         """Lease MRs totalling at least ``bytes_needed``.
 
         ``providers`` restricts the candidate memory servers; ``spread``
         round-robins across providers instead of draining one at a time
         (used by the multi-memory-server experiments, Figures 5 and 12b).
+        ``avoid`` names providers to steer clear of (e.g. quarantined by
+        a circuit breaker) — honoured only while the remaining providers
+        can still cover the request, so availability beats purity.
         """
         self._require_up()
         candidates = list(providers) if providers is not None else sorted(self._available)
         candidates = [c for c in candidates if self._available.get(c)]
+        shunned = set(avoid)
+        if shunned:
+            preferred = [c for c in candidates if c not in shunned]
+            if sum(self.available_bytes(c) for c in preferred) >= bytes_needed:
+                candidates = preferred
         if self.available_bytes() < bytes_needed or not candidates:
             if sum(self.available_bytes(c) for c in candidates) < bytes_needed:
                 raise InsufficientMemory(

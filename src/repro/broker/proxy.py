@@ -46,6 +46,18 @@ class MemoryProxy:
     def offered_bytes(self) -> int:
         return sum(region.size for region in self.offered)
 
+    def ping(self, initiator: Server) -> ProcessGenerator:
+        """Liveness probe: control round trip plus a sliver of proxy CPU.
+
+        Used by the reliability layer to test a quarantined provider
+        before re-admitting it.  Raises :class:`NetworkDown` when either
+        endpoint is dark, like any other traffic.
+        """
+        yield from initiator.nic.send_control(self.server.nic)
+        yield from self.server.cpu.compute(1.0)
+        yield from self.server.nic.send_control(initiator.nic)
+        return True
+
     def offer_available(self, limit_bytes: int | None = None) -> ProcessGenerator:
         """Pin, register and broker all (or up to ``limit_bytes``) spare memory."""
         spare = self.server.memory_available - self.reserve_bytes

@@ -24,6 +24,7 @@ from collections import OrderedDict, deque
 from typing import Callable, Optional
 
 from ..cluster import Server
+from ..reliability import DeadlineExceeded, ReliabilityLayer
 from ..sim import LatencyRecorder, TimeSeries
 from ..sim.kernel import ProcessGenerator
 from .errors import EngineError, PageNotFound
@@ -60,9 +61,17 @@ class BufferPoolExtension:
         self._slots: OrderedDict[PageId, int] = OrderedDict()
         self._free: list[int] = list(range(self.capacity_pages - 1, -1, -1))
         self.enabled = True
+        #: Optional reliability layer (set via BufferPool.attach_reliability):
+        #: routes around quarantined providers and classifies deadline
+        #: expiries as transient instead of data loss.
+        self.reliability: ReliabilityLayer | None = None
         self.hits = 0
         self.misses = 0
         self.failures = 0
+        #: Accesses skipped because the backing provider is quarantined.
+        self.quarantine_skips = 0
+        #: Deadline expiries — the parked image is presumed intact.
+        self.transient_failures = 0
         #: Pages invalidated by provider faults (``on_fault`` sweeps).
         self.pages_lost_to_faults = 0
         #: Observers called with the page id whenever a remote failure is
@@ -94,10 +103,40 @@ class BufferPoolExtension:
         else:
             _old_id, slot = self._slots.popitem(last=False)
             self.store.discard(slot)
+        layer = self.reliability
+        if layer is not None:
+            provider = self._slot_provider(slot)
+            if provider is not None and not layer.breakers.routable(provider):
+                # Don't park pages at a quarantined provider: give the
+                # slot back and let the page age out of the pool.
+                self.quarantine_skips += 1
+                self._free.append(slot)
+                return
+        page_id = page.page_id
+
+        def _write_aborted(page_id=page_id, slot=slot):
+            # The write-behind transfer died after put() returned (the
+            # provider crashed or a write deadline cut it short): the
+            # remote bytes are unknown, so the mapping made below must
+            # not survive.  The store already discarded its slot state.
+            self.transient_failures += 1
+            if self._slots.get(page_id) == slot:
+                del self._slots[page_id]
+                self._free.append(slot)
+
         try:
-            yield from self.store.write_page(page, slot=slot, background=True)
+            yield from self.store.write_page(
+                page, slot=slot, background=True, on_abort=_write_aborted
+            )
             if self.bytes_series is not None:
                 self.bytes_series.add(self._now(), 8192)
+        except DeadlineExceeded:
+            # The write may not have completed: the slot's remote bytes
+            # are unknown, so never map it — but the *slot* is reusable.
+            self.transient_failures += 1
+            self.store.discard(slot)
+            self._free.append(slot)
+            return
         except RemoteMemoryUnavailable:
             self._on_failure(page.page_id, slot)
             return
@@ -111,12 +150,32 @@ class BufferPoolExtension:
             self.misses += 1
             raise PageNotFound(f"extension: {page_id} not present")
         slot = self._slots[page_id]
+        layer = self.reliability
+        if layer is not None:
+            provider = self._slot_provider(slot)
+            if provider is not None and not layer.breakers.routable(provider):
+                # Quarantined provider: go straight to the base file.
+                # The mapping is kept — the parked image is presumed
+                # intact and becomes reachable again once the breaker
+                # re-admits the provider (crashes are swept separately
+                # by on_fault).
+                self.quarantine_skips += 1
+                self.misses += 1
+                raise PageNotFound(
+                    f"extension: {page_id} parked at quarantined provider {provider}"
+                )
         # Touch the LRU position first so a concurrent put is unlikely
         # to evict the slot we are about to read.
         self._slots.move_to_end(page_id)
         start = self._now()
         try:
             page = yield from self.store.read_page(slot, background=background)
+        except DeadlineExceeded:
+            # Transient: the remote image is still there, only slow.
+            # Keep the slot mapped and let the caller fall back to disk.
+            self.transient_failures += 1
+            self.misses += 1
+            raise PageNotFound(f"extension: {page_id} read exceeded its deadline")
         except RemoteMemoryUnavailable:
             self._on_failure(page_id, slot)
             self.misses += 1
@@ -134,6 +193,16 @@ class BufferPoolExtension:
         if owner is None:
             owner = self.store.remote_file.owner  # type: ignore[attr-defined]
         return owner.sim.now
+
+    def _slot_provider(self, slot: int) -> str | None:
+        """Memory server backing ``slot``, if the store can tell."""
+        resolver = getattr(self.store, "slot_provider", None)
+        if resolver is None:
+            return None
+        try:
+            return resolver(slot)
+        except Exception:
+            return None  # e.g. the backing lease is already gone
 
     def invalidate(self, page_id: PageId) -> None:
         slot = self._slots.pop(page_id, None)
@@ -231,6 +300,18 @@ class BufferPool:
         self.base_reads = 0
         self.prefetches = 0
         self._prefetch_active = 0
+        #: Optional reliability layer: hedged reads + quarantine routing.
+        self.reliability: ReliabilityLayer | None = None
+        #: End-to-end latency of demand page faults (whatever medium
+        #: served them) — the metric hedging is meant to bound.
+        self.fault_latency = LatencyRecorder("bp.fault")
+
+    def attach_reliability(self, layer: ReliabilityLayer) -> ReliabilityLayer:
+        """Enable hedged reads here and quarantine routing in the extension."""
+        self.reliability = layer
+        if self.extension is not None:
+            self.extension.reliability = layer
+        return layer
 
     # -- file registry -----------------------------------------------------
 
@@ -288,14 +369,23 @@ class BufferPool:
         if done is None:
             done = self.server.sim.event()
             self._inflight[page_id] = done
+        start = self.server.sim.now
+        layer = self.reliability
         try:
             page = None
             if self.extension is not None and self.extension.contains(page_id):
-                try:
-                    page = yield from self.extension.get(page_id, background=background)
-                    self.ext_hits += 1
-                except PageNotFound:
-                    page = None  # lost to remote failure: fall back to base
+                if layer is not None and layer.policy.hedge_enabled and not background:
+                    page, source = yield from self._hedged_ext_fetch(page_id)
+                    if source == "ext":
+                        self.ext_hits += 1
+                    elif source == "base":
+                        self.base_reads += 1
+                else:
+                    try:
+                        page = yield from self.extension.get(page_id, background=background)
+                        self.ext_hits += 1
+                    except PageNotFound:
+                        page = None  # lost to remote failure: fall back to base
             if page is None:
                 store = self.files.get(page_id[0])
                 if store is None:
@@ -303,10 +393,73 @@ class BufferPool:
                 page = yield from store.read_page(page_id[1], background=background)
                 self.base_reads += 1
             yield from self._insert(page)
+            if not background:
+                self.fault_latency.record(self.server.sim.now - start)
             return page
         finally:
             del self._inflight[page_id]
             done.succeed()
+
+    def _hedged_ext_fetch(self, page_id: PageId) -> ProcessGenerator:
+        """Race the extension read against a delayed base-file read.
+
+        The extension read is issued immediately; once it has been
+        outstanding for the tail-derived hedge delay, a backup read of
+        the same page from the base file is issued and whichever
+        completes first supplies the page.  During a brown-out this
+        bounds the fault latency at roughly *hedge delay + one disk
+        read* instead of however long the degraded link takes — and
+        when the primary fails outright the already-running backup
+        doubles as the fallback.  Returns ``(page | None, source)``
+        with ``source`` in ``{"ext", "base", None}``.
+        """
+        sim = self.server.sim
+        layer = self.reliability
+        extension = self.extension
+
+        def absorb(generator) -> ProcessGenerator:
+            # Spawned racers must not leak PageNotFound into the sim loop.
+            try:
+                page = yield from generator
+            except PageNotFound:
+                return None
+            return page
+
+        primary = sim.spawn(absorb(extension.get(page_id)), name="bp.hedge.primary")
+        delay = layer.hedge_delay_us(extension.read_latency)
+        index, value = yield sim.any_of([primary, sim.timeout(delay)])
+        if index == 0:
+            return value, "ext" if value is not None else None
+        store = self.files.get(page_id[0])
+        if store is None or not store.contains(page_id[1]):
+            value = yield primary  # nothing to hedge with: sit it out
+            return value, "ext" if value is not None else None
+        layer.hedge.issued += 1
+        backup = sim.spawn(
+            absorb(store.read_page(page_id[1], background=True)),
+            name="bp.hedge.backup",
+        )
+        index, value = yield sim.any_of([primary, backup])
+        if index == 0:
+            if value is not None:
+                layer.hedge.primary_wins += 1
+                return value, "ext"
+            # Primary failed after the hedge fired: the backup read,
+            # already in flight, doubles as the disk fallback.
+            value = yield backup
+            if value is not None:
+                layer.hedge.record_backup_win(rescued=True)
+                return value, "base"
+            return None, None
+        if value is not None:
+            layer.hedge.record_backup_win(rescued=False)
+            # Cancel the losing primary: a read parked on a browned-out
+            # link would otherwise hold the provider's NIC engine for
+            # its whole degraded service time, starving later traffic.
+            primary.interrupt(cause="hedged read: backup won")
+            return value, "base"
+        value = yield primary  # backup lost the page mid-race: rare
+        return value, "ext" if value is not None else None
 
     def prefetch(self, file_id: int, page_nos: list[int]) -> None:
         """Issue background read-ahead for ``page_nos`` (scan path).

@@ -21,10 +21,11 @@ end-to-end: what you wrote is what you read back, on every medium.
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Callable, Optional
 
 from ..cluster import Server
 from ..net.rdma import RdmaError
+from ..reliability import DeadlineExceeded
 from ..remotefile import RemoteFile, RemoteFileError, RemoteMemoryUnavailable
 from ..sim.kernel import ProcessGenerator
 from ..storage import BlockDevice, IoOp
@@ -59,13 +60,17 @@ class PageStore(abc.ABC):
 
     @abc.abstractmethod
     def write_page(
-        self, page: Page, slot: Optional[int] = None, background: bool = False
+        self, page: Page, slot: Optional[int] = None, background: bool = False,
+        on_abort: Optional[Callable[[], None]] = None,
     ) -> ProcessGenerator:
         """Store a snapshot of ``page`` at ``slot`` (default: page_no).
 
         ``background=True`` marks write-behind I/O (cache population,
         checkpoints): the content is installed immediately and the call
-        does not wait for the device transfer."""
+        does not wait for the device transfer.  ``on_abort`` (stores
+        whose write-behind can fail after this call returned, i.e.
+        remote memory) is invoked on such a late abort: the slot's
+        contents are then unknown and the caller must unmap it."""
 
     @abc.abstractmethod
     def contains(self, slot: int) -> bool: ...
@@ -150,7 +155,8 @@ class DevicePageFile(PageStore):
         return page.copy()
 
     def write_page(
-        self, page: Page, slot: Optional[int] = None, background: bool = False
+        self, page: Page, slot: Optional[int] = None, background: bool = False,
+        on_abort: Optional[Callable[[], None]] = None,
     ) -> ProcessGenerator:
         slot = page.page_no if slot is None else slot
         self._check_slot(slot)
@@ -228,6 +234,12 @@ class RemotePageFile(PageStore):
             page = yield from self.remote_file.read_object(
                 slot * PAGE_SIZE, PAGE_SIZE, background=background
             )
+        except DeadlineExceeded:
+            # A budget expiry is transient — the remote image is intact,
+            # just slow to reach — so the slot stays present for a later
+            # (or hedged) attempt.  Contrast RemoteMemoryUnavailable
+            # below, where the backing data really is gone.
+            raise
         except RemoteMemoryUnavailable:
             self._present.discard(slot)
             raise
@@ -240,12 +252,22 @@ class RemotePageFile(PageStore):
         return page.copy()
 
     def write_page(
-        self, page: Page, slot: Optional[int] = None, background: bool = False
+        self, page: Page, slot: Optional[int] = None, background: bool = False,
+        on_abort: Optional[Callable[[], None]] = None,
     ) -> ProcessGenerator:
         slot = page.page_no if slot is None else slot
         self._check_slot(slot)
+
+        def _aborted():
+            # The fire-and-forget transfer died after we returned: the
+            # remote bytes at ``slot`` are unknown, so stop serving it.
+            self.discard(slot)
+            if on_abort is not None:
+                on_abort()
+
         yield from self.remote_file.write_object(
-            slot * PAGE_SIZE, PAGE_SIZE, page.copy(), background=background
+            slot * PAGE_SIZE, PAGE_SIZE, page.copy(), background=background,
+            on_abort=_aborted if background else None,
         )
         self._present.add(slot)
         self._batches.pop(slot, None)  # a single page now lives here
@@ -339,7 +361,8 @@ class SmbPageFile(PageStore):
         return page.copy()
 
     def write_page(
-        self, page: Page, slot: Optional[int] = None, background: bool = False
+        self, page: Page, slot: Optional[int] = None, background: bool = False,
+        on_abort: Optional[Callable[[], None]] = None,
     ) -> ProcessGenerator:
         slot = page.page_no if slot is None else slot
         self._check_slot(slot)

@@ -42,6 +42,11 @@ class FaultRecord:
     refaults: int = 0
     inject_details: dict[str, Any] = field(default_factory=dict)
     restore_details: dict[str, Any] = field(default_factory=dict)
+    #: Circuit-breaker transitions observed while this fault was the
+    #: most recent one: ``(at_us, provider, old_state, new_state)``.
+    breaker_transitions: list[tuple[float, str, str, str]] = field(default_factory=list)
+    #: Hedged reads won by the backup medium during this fault.
+    hedge_wins: int = 0
 
     @property
     def detection_latency_us(self) -> Optional[float]:
@@ -101,6 +106,34 @@ class RecoveryMonitor:
         if record.detected_at_us is None:
             record.detected_at_us = self.sim.now
         record.refaults += 1
+
+    # -- reliability-layer hook --------------------------------------------
+
+    def track_reliability(self, layer: Any) -> None:
+        """Correlate breaker transitions and hedge wins with faults.
+
+        Subscribes to the layer's breaker-transition and hedge-win
+        streams; each observation is attributed to the most recent fault
+        record, so a replayed experiment reproduces the exact same
+        attribution.
+        """
+        layer.breakers.transition_listeners.append(self._on_breaker_transition)
+        layer.hedge.win_listeners.append(self._on_hedge_win)
+
+    def _on_breaker_transition(
+        self, provider: str, old: Any, new: Any, at_us: float
+    ) -> None:
+        if not self.records:
+            return
+        record = self.records[-1]
+        record.breaker_transitions.append((at_us, provider, old.value, new.value))
+        if record.detected_at_us is None and new.value == "open":
+            # Tripping a breaker *is* detecting the fault.
+            record.detected_at_us = self.sim.now
+
+    def _on_hedge_win(self) -> None:
+        if self.records:
+            self.records[-1].hedge_wins += 1
 
     # -- throughput watching ----------------------------------------------
 
@@ -187,6 +220,8 @@ class RecoveryMonitor:
                 "refaults": record.refaults,
                 "inject_details": dict(record.inject_details),
                 "restore_details": dict(record.restore_details),
+                "breaker_transitions": list(record.breaker_transitions),
+                "hedge_wins": record.hedge_wins,
             }
             for record in self.records
         ]

@@ -16,6 +16,7 @@ from ..cluster import Cluster, Server
 from ..engine import Database, DevicePageFile, RemotePageFile, SmbPageFile
 from ..engine.page import PAGE_SIZE
 from ..net import Network, SmbClient, SmbDirectClient, SmbFileServer
+from ..reliability import ReliabilityLayer, ReliabilityPolicy
 from ..remotefile import AccessPolicy, RemoteMemoryFilesystem, StagingPool
 from ..storage import GB, MB, RamDrive, Raid0Array, SsdDevice
 from .designs import Design, DESIGNS
@@ -47,6 +48,9 @@ class DbSetup:
     network: Optional[Network] = None
     #: Memory-brokering proxies by server name (Custom design only).
     proxies: dict[str, MemoryProxy] = field(default_factory=dict)
+    #: Reliability policy layer (Custom design, opt-in): deadlines,
+    #: retries, circuit breakers, hedged reads, admission control.
+    reliability: Optional[ReliabilityLayer] = None
 
     @property
     def sim(self):
@@ -68,6 +72,7 @@ def build_database(
     local_memory_bonus_pages: int = 0,
     seed: int = 0,
     db_cores: int = 20,
+    reliability: ReliabilityPolicy | bool | None = None,
 ) -> DbSetup:
     """Assemble one design alternative.
 
@@ -75,6 +80,10 @@ def build_database(
     sequential workloads on the HDD/HDD+SSD baselines (Section 5.3).
     ``local_memory_bonus_pages`` grows the pool for the *Local Memory*
     design by the amount other designs get as remote memory.
+    ``reliability`` (Custom design only) threads a
+    :class:`~repro.reliability.ReliabilityLayer` through the remote
+    path: pass ``True`` for the default policy or a
+    :class:`~repro.reliability.ReliabilityPolicy` to tune it.
     """
     config = DESIGNS[design]
     cluster = Cluster(seed=seed)
@@ -139,8 +148,20 @@ def build_database(
         else:  # ndspi / Custom
             broker = MemoryBroker(sim)
             policy = AccessPolicy.SYNC if config.sync_remote_io else AccessPolicy.ASYNC
+            layer = None
+            if reliability:
+                reliability_policy = (
+                    reliability
+                    if isinstance(reliability, ReliabilityPolicy)
+                    else ReliabilityPolicy()
+                )
+                layer = ReliabilityLayer(
+                    sim, cluster.rng.stream("reliability"), reliability_policy
+                )
+                setup.reliability = layer
             fs = RemoteMemoryFilesystem(
-                db_server, broker, StagingPool(db_server, schedulers=db_cores), policy=policy
+                db_server, broker, StagingPool(db_server, schedulers=db_cores),
+                policy=policy, reliability=layer,
             )
             setup.broker = broker
             setup.remote_fs = fs
@@ -183,6 +204,8 @@ def build_database(
         tempdb_store=tempdb_store,
         workspace_bytes=workspace_bytes,
     )
+    if setup.reliability is not None:
+        database.pool.attach_reliability(setup.reliability)
     setup.database = database
     return setup
 

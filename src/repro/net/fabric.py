@@ -25,6 +25,8 @@ Fault hooks (used by :mod:`repro.faults`):
 
 from __future__ import annotations
 
+from typing import Callable
+
 from ..cluster import Server
 from ..sim import Resource, Simulator
 from ..sim.kernel import Process, ProcessGenerator
@@ -95,7 +97,9 @@ class NicPort:
         self.retransmits = 0
         self._link_rng = None
         #: Transfer processes that touch this port, abortable on crash.
-        self._inflight: set[Process] = set()
+        #: Insertion-ordered so abort order (and hence replay) is
+        #: deterministic — a set would iterate in address order.
+        self._inflight: dict[Process, None] = {}
 
     # -- fault hooks -------------------------------------------------------
 
@@ -140,8 +144,25 @@ class NicPort:
 
     def track_inflight(self, process: Process) -> None:
         """Register a transfer process for abort-on-crash semantics."""
-        self._inflight.add(process)
-        process.add_callback(lambda _e: self._inflight.discard(process))
+        self._inflight[process] = None
+        process.add_callback(lambda _e: self._inflight.pop(process, None))
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Transfers queued behind the TX and RX engines right now."""
+        return self.tx.queue_length + self.rx.queue_length
+
+    @property
+    def healthy(self) -> bool:
+        """Up and undegraded (no latency multiplier, no packet loss)."""
+        return (
+            self.alive
+            and self.server.alive
+            and self.latency_multiplier == 1.0
+            and self.drop_probability == 0.0
+        )
 
     # -- timing ------------------------------------------------------------
 
@@ -163,12 +184,18 @@ class NicPort:
         if not peer.alive or not peer.server.alive:
             raise NetworkDown(f"{peer.server.name}: NIC is down")
 
-    def _engine(self, engine: Resource, duration: float) -> ProcessGenerator:
-        """Hold one engine slot for ``duration``, interrupt-safely."""
+    def _engine(self, engine: Resource, timing: Callable[[], float]) -> ProcessGenerator:
+        """Hold one engine slot, interrupt-safely.
+
+        ``timing`` is evaluated when the slot is *granted*, not when the
+        transfer enqueues: link degradation applies to transfers being
+        serviced while the link is sick, and a backlog queued during a
+        brown-out drains at healthy speed once the link restores.
+        """
         request = engine.request()
         try:
             yield request
-            yield self.network.sim.timeout(duration)
+            yield self.network.sim.timeout(timing())
         finally:
             engine.cancel(request)
 
@@ -180,10 +207,10 @@ class NicPort:
         self._check_alive(dst)
         sim = self.network.sim
         start = sim.now
-        yield from self._engine(self.tx, self._engine_time(size))
+        yield from self._engine(self.tx, lambda: self._engine_time(size))
         yield sim.timeout(self.network.propagation_us + self.profile.processing_us)
         self._check_alive(dst)
-        yield from self._engine(dst.rx, dst._engine_time(size))
+        yield from self._engine(dst.rx, lambda: dst._engine_time(size))
         self.bytes_sent += size
         self.messages_sent += 1
         dst.bytes_received += size

@@ -1,0 +1,188 @@
+"""Per-provider circuit breakers over transfer outcomes.
+
+Classic CLOSED -> OPEN -> HALF_OPEN state machine, clocked on virtual
+time:
+
+* CLOSED — traffic flows; ``breaker_failure_threshold`` *consecutive*
+  failures trip the breaker OPEN.
+* OPEN — routing is refused (the buffer-pool extension skips parked
+  pages on the provider and goes straight to disk) until
+  ``breaker_open_us`` of quarantine has elapsed.
+* HALF_OPEN — up to ``breaker_probe_quota`` trial operations are
+  admitted; the first success closes the breaker, the first failure
+  re-opens it (restarting the quarantine clock).
+
+Every transition is timestamped in virtual microseconds and reported to
+registered listeners, so the fault-recovery monitor can correlate
+breaker behaviour with injected faults and a seeded replay reproduces
+the exact same transition log.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from ..sim import Simulator
+from .policy import ReliabilityPolicy
+
+__all__ = ["BreakerState", "CircuitBreaker", "BreakerRegistry"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Health state machine for one memory provider."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        provider: str,
+        policy: ReliabilityPolicy,
+        on_transition: Callable[[str, BreakerState, BreakerState, float], None] | None = None,
+    ):
+        self.sim = sim
+        self.provider = provider
+        self.policy = policy
+        self.state = BreakerState.CLOSED
+        self.on_transition = on_transition
+        self.consecutive_failures = 0
+        self.opened_at_us: float | None = None
+        self._probes_admitted = 0
+        self.successes = 0
+        self.failures = 0
+        self.rejections = 0
+
+    def _transition(self, new: BreakerState) -> None:
+        old, self.state = self.state, new
+        if new is BreakerState.OPEN:
+            self.opened_at_us = self.sim.now
+        if new is BreakerState.HALF_OPEN:
+            self._probes_admitted = 0
+        if self.on_transition is not None:
+            self.on_transition(self.provider, old, new, self.sim.now)
+
+    def allow(self) -> bool:
+        """May an operation be routed at this provider right now?
+
+        In HALF_OPEN this consumes one probe slot, so a bounded number
+        of trial operations reaches the provider per quarantine cycle.
+        """
+        if self.state is BreakerState.OPEN:
+            if self.sim.now - float(self.opened_at_us or 0.0) >= self.policy.breaker_open_us:
+                self._transition(BreakerState.HALF_OPEN)
+            else:
+                self.rejections += 1
+                return False
+        if self.state is BreakerState.HALF_OPEN:
+            if self._probes_admitted >= self.policy.breaker_probe_quota:
+                self.rejections += 1
+                return False
+            self._probes_admitted += 1
+        return True
+
+    def routable(self) -> bool:
+        """Non-consuming routing check used by upper layers (BPExt).
+
+        False only while the quarantine clock is still running; once the
+        provider is due for probing this returns True so trial traffic
+        reaches the data path, where :meth:`allow` meters the probes.
+        """
+        if self.state is BreakerState.OPEN:
+            return self.sim.now - float(self.opened_at_us or 0.0) >= self.policy.breaker_open_us
+        return True
+
+    def record_success(self) -> None:
+        self.successes += 1
+        self.consecutive_failures = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self._transition(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            self._transition(BreakerState.OPEN)
+        elif (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.policy.breaker_failure_threshold
+        ):
+            self._transition(BreakerState.OPEN)
+
+    def record_abandoned(self) -> None:
+        """A trial admitted by :meth:`allow` ended with *no* outcome.
+
+        Happens when the trial's caller is interrupted mid-operation —
+        e.g. a hedged backup read won the race and cancelled it.  The
+        probe slot must be returned: otherwise a HALF_OPEN breaker
+        whose whole quota went to abandoned trials would wedge, with
+        every later ``allow()`` (including the health prober's)
+        rejected forever.
+        """
+        if self.state is BreakerState.HALF_OPEN and self._probes_admitted > 0:
+            self._probes_admitted -= 1
+
+
+class BreakerRegistry:
+    """One :class:`CircuitBreaker` per provider, created on first use."""
+
+    def __init__(self, sim: Simulator, policy: ReliabilityPolicy):
+        self.sim = sim
+        self.policy = policy
+        self.breakers: dict[str, CircuitBreaker] = {}
+        #: ``fn(provider, old_state, new_state, at_us)`` per transition.
+        self.transition_listeners: list[
+            Callable[[str, BreakerState, BreakerState, float], None]
+        ] = []
+        #: Ordered transition log: ``(at_us, provider, old, new)``.
+        self.transitions: list[tuple[float, str, str, str]] = []
+
+    def breaker(self, provider: str) -> CircuitBreaker:
+        breaker = self.breakers.get(provider)
+        if breaker is None:
+            breaker = CircuitBreaker(self.sim, provider, self.policy, self._on_transition)
+            self.breakers[provider] = breaker
+        return breaker
+
+    def _on_transition(
+        self, provider: str, old: BreakerState, new: BreakerState, at_us: float
+    ) -> None:
+        self.transitions.append((at_us, provider, old.value, new.value))
+        for listener in self.transition_listeners:
+            listener(provider, old, new, at_us)
+
+    # -- routing / outcome feed -------------------------------------------
+
+    def allow(self, provider: str) -> bool:
+        return self.breaker(provider).allow()
+
+    def routable(self, provider: str) -> bool:
+        return self.breaker(provider).routable()
+
+    def record_success(self, provider: str) -> None:
+        self.breaker(provider).record_success()
+
+    def record_failure(self, provider: str) -> None:
+        self.breaker(provider).record_failure()
+
+    def record_abandoned(self, provider: str) -> None:
+        self.breaker(provider).record_abandoned()
+
+    def state(self, provider: str) -> BreakerState:
+        return self.breaker(provider).state
+
+    def quarantined(self) -> list[str]:
+        """Providers currently refusing traffic (OPEN breakers)."""
+        return sorted(
+            name
+            for name, breaker in self.breakers.items()
+            if breaker.state is BreakerState.OPEN
+        )
+
+    def snapshot(self) -> list[tuple[float, str, str, str]]:
+        """The full transition log (deterministic replay payload)."""
+        return list(self.transitions)

@@ -1,0 +1,229 @@
+"""The reliability layer façade threaded through the remote-memory path.
+
+One :class:`ReliabilityLayer` per database server bundles the four
+policies (deadlines, seeded retries, per-provider circuit breakers,
+hedged reads) plus staging-pool admission control, and is handed to
+
+* every :class:`~repro.remotefile.RemoteFile` (deadline + retry +
+  breaker feed + admission on the transfer path),
+* the :class:`~repro.engine.bufferpool.BufferPool` and its extension
+  (hedged reads, quarantine routing),
+* the :class:`~repro.remotefile.RemoteMemoryFilesystem` (lease-renewal
+  retries, broker-RPC deadlines, breaker-aware lease placement).
+
+Determinism contract: the layer reads only the simulator's virtual
+clock and draws only from the seeded generator it was constructed
+with, so enabling it never breaks bit-identical replay.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+import numpy as np
+
+from ..sim import Simulator
+from ..sim.kernel import ProcessGenerator
+from ..sim.stats import LatencyRecorder
+from .admission import AdmissionController
+from .breaker import BreakerRegistry
+from .hedge import HedgeStats, hedge_delay_us
+from .policy import DeadlineExceeded, ReliabilityPolicy
+from .retry import RetrySchedule
+
+__all__ = ["ReliabilityLayer"]
+
+
+def _capture(generator: ProcessGenerator) -> ProcessGenerator:
+    """Run ``generator`` in a spawned process, capturing its outcome.
+
+    An exception escaping a spawned process would crash the simulation
+    loop, so the outcome is reified as ``("ok", value)`` / ``("err",
+    exc)`` and re-raised on the waiting side.
+    """
+    try:
+        value = yield from generator
+    except Exception as exc:  # Interrupt included: deadline-abandoned calls
+        return ("err", exc)
+    return ("ok", value)
+
+
+class ReliabilityLayer:
+    """Deadlines + seeded retries + breakers + hedging + admission."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: np.random.Generator,
+        policy: Optional[ReliabilityPolicy] = None,
+        name: str = "reliability",
+    ):
+        self.sim = sim
+        self.rng = rng
+        self.policy = policy if policy is not None else ReliabilityPolicy()
+        self.name = name
+        self.retry = RetrySchedule(self.policy, rng)
+        self.breakers = BreakerRegistry(sim, self.policy)
+        self.admission = AdmissionController(sim, self.policy)
+        self.hedge = HedgeStats()
+        #: Budget expiries observed, by op family ("read"/"write"/"rpc").
+        self.deadline_hits: dict[str, int] = {"read": 0, "write": 0, "rpc": 0}
+        #: Retried attempts, by op family.
+        self.retries: dict[str, int] = {"read": 0, "rpc": 0}
+
+    # -- deadlines ---------------------------------------------------------
+
+    def with_deadline(
+        self,
+        generator: ProcessGenerator,
+        deadline_us: float | None,
+        family: str = "rpc",
+        name: str = "",
+    ) -> ProcessGenerator:
+        """Run ``generator`` with a virtual-time budget.
+
+        The call is spawned as its own process and raced against the
+        budget; on expiry the process is interrupted (its holder-side
+        resources unwind through their ``finally`` blocks) and
+        :class:`DeadlineExceeded` is raised to the caller.
+        """
+        if deadline_us is None:
+            return (yield from generator)
+        process = self.sim.spawn(_capture(generator), name=name or f"{self.name}.deadline")
+        try:
+            index, outcome = yield self.sim.any_of([process, self.sim.timeout(deadline_us)])
+        finally:
+            # Covers both the budget expiring (index == 1) and *us*
+            # being interrupted while racing it (a hedged backup won,
+            # an outer deadline fired).  Either way the spawned call
+            # must not be orphaned: left alone it would run to
+            # completion holding its admission ticket, staging slots
+            # and NIC engine grant.  No-op when it already finished.
+            if process.is_alive:
+                process.interrupt(cause=f"{name or family} deadline ({deadline_us:g}us)")
+        if index == 1:
+            self.note_deadline(family)
+            raise DeadlineExceeded(
+                f"{name or family}: exceeded {deadline_us:g}us virtual-time budget"
+            )
+        status, payload = outcome
+        if status == "err":
+            raise payload
+        return payload
+
+    # -- retries -----------------------------------------------------------
+
+    def call_idempotent(
+        self,
+        factory: Any,
+        retry_on: tuple[type[BaseException], ...],
+        deadline_us: float | None = None,
+        family: str = "rpc",
+        name: str = "",
+    ) -> ProcessGenerator:
+        """Deadline + seeded-backoff retry for an *idempotent* RPC.
+
+        ``factory()`` must return a fresh generator per attempt (a
+        generator can only run once).  Exceptions outside ``retry_on``
+        propagate immediately; ``DeadlineExceeded`` is always eligible.
+        """
+        retry_on = tuple(retry_on) + (DeadlineExceeded,)
+        attempt = 0
+        while True:
+            try:
+                return (
+                    yield from self.with_deadline(
+                        factory(), deadline_us, family=family, name=name
+                    )
+                )
+            except retry_on:
+                attempt += 1
+                if not self.retry.allows(attempt):
+                    raise
+                self.note_retry(family)
+                yield self.sim.timeout(self.retry.backoff_us(attempt))
+
+    # -- hedging -----------------------------------------------------------
+
+    def hedge_delay_us(self, recorder: LatencyRecorder) -> float:
+        return hedge_delay_us(self.policy, recorder)
+
+    # -- accounting --------------------------------------------------------
+
+    def note_deadline(self, family: str) -> None:
+        self.deadline_hits[family] = self.deadline_hits.get(family, 0) + 1
+
+    def note_retry(self, family: str) -> None:
+        self.retries[family] = self.retries.get(family, 0) + 1
+
+    def quarantined_providers(self) -> list[str]:
+        return self.breakers.quarantined()
+
+    def snapshot(self) -> dict[str, Any]:
+        """Deterministic, comparable view for replay assertions."""
+        return {
+            "deadline_hits": dict(self.deadline_hits),
+            "retries": dict(self.retries),
+            "backoff_draws": self.retry.draws,
+            "breaker_transitions": self.breakers.snapshot(),
+            "breaker_counts": {
+                name: {
+                    "successes": b.successes,
+                    "failures": b.failures,
+                    "rejections": b.rejections,
+                    "state": b.state.value,
+                }
+                for name, b in sorted(self.breakers.breakers.items())
+            },
+            "hedge": self.hedge.snapshot(),
+            "admission": {
+                "admitted": self.admission.admitted,
+                "queued": self.admission.queued,
+            },
+        }
+
+    def probe(self, owner: Any, proxy: Any) -> ProcessGenerator:
+        """Active health probe: control-message round trip to a proxy.
+
+        ``yield from``-able; records the outcome at the provider's
+        breaker and returns True/False.  Used by harnesses that want an
+        OPEN breaker re-admitted without waiting for trial traffic.
+
+        Goes through :meth:`BreakerRegistry.allow` so the quarantine
+        clock is honoured (an elapsed OPEN moves to HALF_OPEN, a probe
+        slot is claimed, and a success there closes the breaker).
+        """
+        provider = proxy.server.name
+        if not self.breakers.allow(provider):
+            return False
+        try:
+            yield from self.with_deadline(
+                proxy.ping(owner),
+                self.policy.rpc_deadline_us,
+                family="rpc",
+                name=f"probe:{provider}",
+            )
+        except Exception:
+            self.breakers.record_failure(provider)
+            return False
+        self.breakers.record_success(provider)
+        return True
+
+    def restrict_providers(
+        self, candidates: Iterable[str] | None
+    ) -> list[str] | None:
+        """Drop quarantined providers from a lease-placement candidate set.
+
+        Returns ``None`` unchanged (broker default = every provider) if
+        nothing is quarantined, otherwise the healthy subset — unless
+        that subset would be empty, in which case the original set is
+        kept (availability beats purity: a lease on a sick provider is
+        better than no lease).
+        """
+        bad = set(self.breakers.quarantined())
+        if not bad:
+            return list(candidates) if candidates is not None else None
+        if candidates is None:
+            return None  # broker applies its own ``avoid`` filtering
+        healthy = [c for c in candidates if c not in bad]
+        return healthy if healthy else list(candidates)

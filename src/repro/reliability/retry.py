@@ -1,0 +1,45 @@
+"""Seeded exponential backoff with jitter.
+
+All randomness comes from the generator the caller hands in (a
+:class:`~repro.sim.RngRegistry` stream), and all delays are virtual
+microseconds: replaying a seeded experiment replays the exact same
+backoff sequence.  Only *idempotent* operations may be retried — reads
+(one-sided RDMA reads have no remote side effects) and lease renewals
+(renewing twice is the same as renewing once).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .policy import ReliabilityPolicy
+
+__all__ = ["RetrySchedule"]
+
+
+class RetrySchedule:
+    """Computes per-attempt backoffs from the policy and a seeded stream."""
+
+    def __init__(self, policy: ReliabilityPolicy, rng: np.random.Generator):
+        self.policy = policy
+        self.rng = rng
+        #: Total backoffs handed out (one per retried attempt).
+        self.draws = 0
+
+    def allows(self, attempt: int) -> bool:
+        """``attempt`` failures have happened; may we try again?"""
+        return attempt <= self.policy.retry_attempts
+
+    def backoff_us(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based), jittered."""
+        policy = self.policy
+        base = min(
+            policy.retry_max_us,
+            policy.retry_base_us * policy.retry_multiplier ** (attempt - 1),
+        )
+        self.draws += 1
+        if policy.retry_jitter <= 0.0:
+            return base
+        # Symmetric jitter decorrelates retry storms across workers.
+        scale = 1.0 + policy.retry_jitter * (2.0 * float(self.rng.random()) - 1.0)
+        return base * scale

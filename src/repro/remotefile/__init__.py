@@ -6,6 +6,7 @@ from .api import (
     RemoteFileError,
     RemoteMemoryFilesystem,
     RemoteMemoryUnavailable,
+    TornWrite,
 )
 from .staging import MEMCPY_BYTES_PER_US, StagingPool
 
@@ -17,4 +18,5 @@ __all__ = [
     "RemoteMemoryFilesystem",
     "RemoteMemoryUnavailable",
     "StagingPool",
+    "TornWrite",
 ]

@@ -34,6 +34,7 @@ from ..broker import BrokerUnavailable, Lease, MemoryBroker
 from ..cluster import Server
 from ..net.fabric import NetworkDown
 from ..net.rdma import RdmaError
+from ..reliability import DeadlineExceeded, ReliabilityLayer
 from ..sim import Cpu, Interrupt, LatencyRecorder
 from ..sim.kernel import Event, ProcessGenerator
 from .staging import StagingPool
@@ -42,6 +43,7 @@ __all__ = [
     "AccessPolicy",
     "RemoteFileError",
     "RemoteMemoryUnavailable",
+    "TornWrite",
     "RemoteFile",
     "RemoteMemoryFilesystem",
 ]
@@ -53,6 +55,27 @@ class RemoteFileError(RuntimeError):
 
 class RemoteMemoryUnavailable(RemoteFileError):
     """The backing lease/provider is gone; caller should fall back."""
+
+
+class TornWrite(RemoteMemoryUnavailable):
+    """A multi-segment write failed after earlier segments were written.
+
+    Carries the durably-written prefix so the caller (e.g. the buffer
+    pool extension) can *invalidate* its copy of the whole range instead
+    of trusting — or worse, re-reading — remote bytes left in a mixed
+    old/new state.
+    """
+
+    def __init__(self, message: str, offset: int, written: int, intended: int):
+        super().__init__(message)
+        self.offset = offset
+        self.written = written
+        self.intended = intended
+
+    @property
+    def written_range(self) -> tuple[int, int]:
+        """Byte range ``[start, end)`` known to have been written."""
+        return (self.offset, self.offset + self.written)
 
 
 class AccessPolicy(enum.Enum):
@@ -98,6 +121,7 @@ class RemoteFile:
         leases: list[Lease],
         staging: StagingPool,
         policy: AccessPolicy = AccessPolicy.SYNC,
+        reliability: ReliabilityLayer | None = None,
     ):
         if not leases:
             raise RemoteFileError("a remote file needs at least one lease")
@@ -106,6 +130,9 @@ class RemoteFile:
         self.leases = leases
         self.staging = staging
         self.policy = policy
+        #: Optional policy layer: deadlines, seeded retries, breaker
+        #: feed and per-provider admission on every transfer.
+        self.reliability = reliability
         self.size = sum(lease.region.size for lease in leases)
         self._offsets: list[int] = []
         cursor = 0
@@ -203,7 +230,7 @@ class RemoteFile:
         if self.policy is AccessPolicy.ASYNC:
             return (yield from cpu.async_wait(transfer))
         # ADAPTIVE: hold a core for up to the spin budget.
-        yield cpu.cores.request()
+        yield from cpu.acquire_core()
         start = sim.now
         try:
             index, _value = yield sim.any_of([transfer, sim.timeout(ADAPTIVE_SPIN_US)])
@@ -226,14 +253,37 @@ class RemoteFile:
         return b"".join(chunks)
 
     def write(self, offset: int, data: bytes) -> ProcessGenerator:
-        """Byte-faithful write of ``data`` at ``offset``."""
+        """Byte-faithful write of ``data`` at ``offset``.
+
+        A write spanning several leases is not atomic: if a later
+        segment fails after an earlier one was written, the remote range
+        is torn and :class:`TornWrite` reports the written prefix so the
+        caller can invalidate rather than re-read.
+        """
         cursor = 0
         for lease, mr_offset, length in self._locate(offset, len(data)):
-            yield from self._transfer_write(
-                lease, mr_offset, length, payload=data[cursor : cursor + length]
-            )
+            try:
+                yield from self._transfer_write(
+                    lease, mr_offset, length, payload=data[cursor : cursor + length]
+                )
+            except (RemoteFileError, DeadlineExceeded) as exc:
+                self._raise_torn(offset, cursor, len(data), lease, exc)
             cursor += length
         self.writes += 1
+
+    def _raise_torn(
+        self, offset: int, written: int, intended: int, lease: Lease, cause: BaseException
+    ) -> None:
+        """Re-raise a segment failure, as :class:`TornWrite` if torn."""
+        if written > 0:
+            raise TornWrite(
+                f"{self.name}: write of {intended} bytes at {offset} torn after "
+                f"{written} bytes (segment on {lease.provider} failed)",
+                offset=offset,
+                written=written,
+                intended=intended,
+            ) from cause
+        raise cause
 
     def read_nodata(self, offset: int, size: int) -> ProcessGenerator:
         """Timing-only read: full RDMA/staging path, no data movement.
@@ -247,8 +297,13 @@ class RemoteFile:
 
     def write_nodata(self, offset: int, size: int) -> ProcessGenerator:
         """Timing-only write counterpart of :meth:`read_nodata`."""
+        cursor = 0
         for lease, mr_offset, length in self._locate(offset, size):
-            yield from self._transfer_write(lease, mr_offset, length, nodata=True)
+            try:
+                yield from self._transfer_write(lease, mr_offset, length, nodata=True)
+            except (RemoteFileError, DeadlineExceeded) as exc:
+                self._raise_torn(offset, cursor, size, lease, exc)
+            cursor += length
         self.writes += 1
 
     def read_object(self, offset: int, size: int, background: bool = False) -> ProcessGenerator:
@@ -269,22 +324,88 @@ class RemoteFile:
         return value
 
     def write_object(
-        self, offset: int, size: int, obj: Any, background: bool = False
+        self, offset: int, size: int, obj: Any, background: bool = False,
+        on_abort: Any = None,
     ) -> ProcessGenerator:
         """Opaque write.  ``background=True`` is fire-and-forget: the
         call returns once the page is memcpy'd into the staging MR (the
         source buffer is immediately reusable, Section 4.2); the RDMA
-        write completes asynchronously and releases the staging slots."""
+        write completes asynchronously and releases the staging slots.
+        ``on_abort`` is invoked if that asynchronous transfer is later
+        aborted (provider crash, write-behind deadline): the remote
+        bytes are then unknown and the caller must invalidate them."""
         segments = self._locate(offset, size)
         if len(segments) != 1:
             raise RemoteFileError("object extents must not span memory regions")
         lease, mr_offset, length = segments[0]
         yield from self._transfer_write(
-            lease, mr_offset, length, obj=obj, fire_and_forget=background
+            lease, mr_offset, length, obj=obj, fire_and_forget=background,
+            on_abort=on_abort,
         )
         self.writes += 1
 
+    def _retryable(self, lease: Lease) -> bool:
+        """May a failed read on ``lease`` be reissued at all?"""
+        try:
+            self._check(lease)
+        except RemoteFileError:
+            return False
+        return True
+
     def _transfer_read(
+        self,
+        lease: Lease,
+        mr_offset: int,
+        length: int,
+        opaque: bool,
+        nodata: bool = False,
+        background: bool = False,
+    ) -> ProcessGenerator:
+        layer = self.reliability
+        if layer is None:
+            return (
+                yield from self._transfer_read_once(
+                    lease, mr_offset, length, opaque, nodata=nodata, background=background
+                )
+            )
+        sim = self.owner.sim
+        provider = lease.provider
+        attempt = 0
+        while True:
+            if not layer.breakers.allow(provider):
+                raise RemoteMemoryUnavailable(
+                    f"{self.name}: provider {provider} is quarantined (circuit open)"
+                )
+            try:
+                value = yield from layer.with_deadline(
+                    self._transfer_read_once(
+                        lease, mr_offset, length, opaque, nodata=nodata, background=background
+                    ),
+                    layer.policy.read_deadline_us,
+                    family="read",
+                    name=f"{self.name}.read@{provider}",
+                )
+            except Interrupt:
+                # Abandoned from outside (hedged backup won, caller
+                # killed): not a verdict on the provider — but a
+                # HALF_OPEN trial slot consumed by allow() above must
+                # be returned or the breaker wedges.
+                layer.breakers.record_abandoned(provider)
+                raise
+            except (RemoteMemoryUnavailable, DeadlineExceeded):
+                layer.breakers.record_failure(provider)
+                attempt += 1
+                # One-sided RDMA reads are idempotent: reissue while the
+                # retry budget lasts and the lease still looks usable.
+                if not layer.retry.allows(attempt) or not self._retryable(lease):
+                    raise
+                layer.note_retry("read")
+                yield sim.timeout(layer.retry.backoff_us(attempt))
+            else:
+                layer.breakers.record_success(provider)
+                return value
+
+    def _transfer_read_once(
         self,
         lease: Lease,
         mr_offset: int,
@@ -297,8 +418,13 @@ class RemoteFile:
         cpu = self.owner.cpu
         qp = self._qps[lease.provider]
         sim = self.owner.sim
-        slots = yield from self.staging.acquire(length)
+        ticket = None
+        if self.reliability is not None:
+            ticket = yield from self.reliability.admission.enter(lease.provider)
+        slots = None
+        transfer = None
         try:
+            slots = yield from self.staging.acquire(length)
             transfer = sim.spawn(
                 _guarded(qp.read(lease.region, mr_offset, length, opaque=opaque, nodata=nodata)),
                 name=f"{self.name}.rdma_read",
@@ -316,7 +442,17 @@ class RemoteFile:
             # Copy from the staging MR into the destination buffer.
             yield from cpu.compute(self.staging.memcpy_us(length))
         finally:
-            self.staging.release(slots)
+            if transfer is not None:
+                # If the caller is abandoning this read (deadline fired,
+                # a hedged backup won, an interrupt), kill the transfer
+                # too: a zombie read queued on — or holding — a degraded
+                # NIC engine would serialize behind-the-scenes traffic
+                # for its whole service time.  No-op once completed.
+                transfer.interrupt(cause=f"{self.name}: caller abandoned read")
+            if slots is not None:
+                self.staging.release(slots)
+            if ticket is not None:
+                ticket.release()
         return value
 
     def _transfer_write(
@@ -328,14 +464,74 @@ class RemoteFile:
         obj: Any = None,
         nodata: bool = False,
         fire_and_forget: bool = False,
+        on_abort: Any = None,
+    ) -> ProcessGenerator:
+        layer = self.reliability
+        if layer is None:
+            return (
+                yield from self._transfer_write_once(
+                    lease, mr_offset, length,
+                    payload=payload, obj=obj, nodata=nodata, fire_and_forget=fire_and_forget,
+                    on_abort=on_abort,
+                )
+            )
+        provider = lease.provider
+        if not layer.breakers.allow(provider):
+            raise RemoteMemoryUnavailable(
+                f"{self.name}: provider {provider} is quarantined (circuit open)"
+            )
+        try:
+            value = yield from layer.with_deadline(
+                self._transfer_write_once(
+                    lease, mr_offset, length,
+                    payload=payload, obj=obj, nodata=nodata, fire_and_forget=fire_and_forget,
+                    on_abort=on_abort,
+                ),
+                layer.policy.write_deadline_us,
+                family="write",
+                name=f"{self.name}.write@{provider}",
+            )
+        except Interrupt:
+            # Abandoned from outside: no verdict, but give back the
+            # HALF_OPEN trial slot allow() consumed (see _transfer_read).
+            layer.breakers.record_abandoned(provider)
+            raise
+        except (RemoteMemoryUnavailable, DeadlineExceeded):
+            # Writes are NOT retried — a reissued write is not idempotent
+            # once a torn prefix may exist — but the outcome still feeds
+            # the provider's breaker.
+            layer.breakers.record_failure(provider)
+            raise
+        if not fire_and_forget:
+            # Fire-and-forget outcomes are reported by the completion
+            # callback inside _transfer_write_once instead.
+            layer.breakers.record_success(provider)
+        return value
+
+    def _transfer_write_once(
+        self,
+        lease: Lease,
+        mr_offset: int,
+        length: int,
+        payload: bytes | None = None,
+        obj: Any = None,
+        nodata: bool = False,
+        fire_and_forget: bool = False,
+        on_abort: Any = None,
     ) -> ProcessGenerator:
         self._check(lease)
         cpu = self.owner.cpu
         qp = self._qps[lease.provider]
         sim = self.owner.sim
-        slots = yield from self.staging.acquire(length)
+        layer = self.reliability
+        ticket = None
+        if layer is not None:
+            ticket = yield from layer.admission.enter(lease.provider)
+        slots = None
         released = False
+        transfer = None
         try:
+            slots = yield from self.staging.acquire(length)
             # Copy the page into the staging MR first; the source buffer
             # is reusable immediately after the memcpy (Section 4.2).
             yield from cpu.compute(self.staging.memcpy_us(length))
@@ -357,7 +553,39 @@ class RemoteFile:
                 # completes; a bounded slot pool throttles runaway
                 # write-behind naturally.
                 released = True
-                transfer.add_callback(lambda _e: self.staging.release(slots))
+                provider = lease.provider
+
+                def _complete(_e, slots=slots, ticket=ticket):
+                    self.staging.release(slots)
+                    if ticket is not None:
+                        ticket.release()
+                    aborted = transfer.value is _ABORTED
+                    if layer is not None:
+                        if aborted:
+                            layer.breakers.record_failure(provider)
+                        else:
+                            layer.breakers.record_success(provider)
+                    if aborted and on_abort is not None:
+                        on_abort()
+
+                transfer.add_callback(_complete)
+                if layer is not None and layer.policy.write_deadline_us is not None:
+                    # Nobody waits on a write-behind transfer, so the
+                    # deadline wrapping the caller never covers it; an
+                    # unbounded write parked on a browned-out link would
+                    # hold the provider's NIC engine (and its staging
+                    # slots) for the whole degraded service time.
+                    budget = layer.policy.write_deadline_us
+
+                    def _watchdog(transfer=transfer):
+                        index, _ = yield sim.any_of([transfer, sim.timeout(budget)])
+                        if index == 1:
+                            layer.note_deadline("write")
+                            transfer.interrupt(
+                                cause=f"{self.name}: write-behind deadline ({budget:g}us)"
+                            )
+
+                    sim.spawn(_watchdog(), name=f"{self.name}.write_watchdog")
                 return
             value = yield from self._wait(cpu, transfer)
             if value is _ABORTED:
@@ -366,7 +594,17 @@ class RemoteFile:
                 )
         finally:
             if not released:
-                self.staging.release(slots)
+                if transfer is not None:
+                    # Foreground write abandoned mid-flight (deadline or
+                    # interrupt): the caller already treats the remote
+                    # bytes as unknown, so finish the abandonment — free
+                    # the NIC engine instead of letting a zombie write
+                    # hold it.  No-op once completed.
+                    transfer.interrupt(cause=f"{self.name}: caller abandoned write")
+                if slots is not None:
+                    self.staging.release(slots)
+                if ticket is not None:
+                    ticket.release()
 
 
 class RemoteMemoryFilesystem:
@@ -378,11 +616,16 @@ class RemoteMemoryFilesystem:
         broker: MemoryBroker,
         staging: StagingPool | None = None,
         policy: AccessPolicy = AccessPolicy.SYNC,
+        reliability: ReliabilityLayer | None = None,
     ):
         self.owner = owner
         self.broker = broker
         self.staging = staging if staging is not None else StagingPool(owner)
         self.policy = policy
+        #: Shared by every file this filesystem creates: quarantined
+        #: providers are avoided at lease placement, renewals get
+        #: deadline + retry, transfers get the full policy set.
+        self.reliability = reliability
         self.files: dict[str, RemoteFile] = {}
         broker.revocation_listeners[owner.name] = self._on_revocation
 
@@ -399,10 +642,17 @@ class RemoteMemoryFilesystem:
         """Create a file of ``size`` bytes by leasing MRs (Table 2)."""
         if name in self.files:
             raise RemoteFileError(f"file {name!r} already exists")
+        avoid: Iterable[str] = ()
+        if self.reliability is not None:
+            avoid = self.reliability.quarantined_providers()
+            providers = self.reliability.restrict_providers(providers)
         leases = yield from self.broker.acquire(
-            self.owner.name, size, providers=providers, spread=spread
+            self.owner.name, size, providers=providers, spread=spread, avoid=avoid
         )
-        file = RemoteFile(name, self.owner, leases, self.staging, self.policy)
+        file = RemoteFile(
+            name, self.owner, leases, self.staging, self.policy,
+            reliability=self.reliability,
+        )
         self.files[name] = file
         return file
 
@@ -420,14 +670,27 @@ class RemoteMemoryFilesystem:
         A broker that is merely restarting (:class:`BrokerUnavailable`)
         is not a lost lease: the daemon skips the round and retries next
         period, relying on the lease duration to ride out the downtime.
+        With a reliability layer attached, each renewal — an idempotent
+        RPC — additionally carries the RPC deadline and is retried with
+        seeded backoff before the round is abandoned.
         """
         period = period_us if period_us is not None else self.broker.lease_duration_us / 2
+        layer = self.reliability
         while file.is_open:
             yield self.owner.sim.timeout(period)
             for lease in file.leases:
                 try:
-                    ok = yield from self.broker.renew(lease)
-                except BrokerUnavailable:
+                    if layer is not None:
+                        ok = yield from layer.call_idempotent(
+                            lambda lease=lease: self.broker.renew(lease),
+                            retry_on=(BrokerUnavailable,),
+                            deadline_us=layer.policy.rpc_deadline_us,
+                            family="rpc",
+                            name=f"{file.name}.renew",
+                        )
+                    else:
+                        ok = yield from self.broker.renew(lease)
+                except (BrokerUnavailable, DeadlineExceeded):
                     break
                 if not ok:
                     return False

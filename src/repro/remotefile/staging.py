@@ -62,11 +62,23 @@ class StagingPool:
         return size / MEMCPY_BYTES_PER_US
 
     def acquire(self, size: int) -> ProcessGenerator:
-        """Reserve staging slots for a transfer of ``size`` bytes."""
+        """Reserve staging slots for a transfer of ``size`` bytes.
+
+        Interrupt-safe: a transfer torn down while *queued* for slots
+        (provider crash, NIC failure, reliability deadline) cancels its
+        request instead of leaving it behind — a stale request would be
+        granted to a dead process and leak the slots forever, eventually
+        exhausting the pool.
+        """
         if not self._initialized:
             raise RuntimeError("staging pool used before initialize()")
         slots = self.slots_for(size)
-        yield self.slots.request(slots)
+        request = self.slots.request(slots)
+        try:
+            yield request
+        except BaseException:
+            self.slots.cancel(request)
+            raise
         return slots
 
     def release(self, slots: int) -> None:

@@ -73,11 +73,26 @@ class Cpu:
 
     # -- execution primitives -------------------------------------------
 
+    def acquire_core(self) -> ProcessGenerator:
+        """Wait for a core grant, interrupt-safely.
+
+        A process interrupted while *queued* for a core (e.g. a
+        reliability deadline expiring under CPU contention) must not
+        leave its request behind — the eventual grant would go to a dead
+        process and leak the core forever.
+        """
+        request = self.cores.request()
+        try:
+            yield request
+        except BaseException:
+            self.cores.cancel(request)
+            raise
+
     def compute(self, duration_us: float) -> ProcessGenerator:
         """Occupy one core for ``duration_us`` of pure computation."""
         if duration_us <= 0:
             return
-        yield self.cores.request()
+        yield from self.acquire_core()
         start = self.sim.now
         try:
             yield self.sim.timeout(duration_us)
@@ -92,7 +107,7 @@ class Cpu:
         synchronous model cheap in latency but expensive in CPU, exactly
         the trade-off in Section 4.1.3.
         """
-        yield self.cores.request()
+        yield from self.acquire_core()
         start = self.sim.now
         try:
             yield event
@@ -107,7 +122,7 @@ class Cpu:
         self.context_switches += 1
         yield self.sim.timeout(self.reschedule_delay_us)
         # Switch-in consumes a slice of CPU (and may queue behind others).
-        yield self.cores.request()
+        yield from self.acquire_core()
         start = self.sim.now
         try:
             yield self.sim.timeout(self.context_switch_us)
