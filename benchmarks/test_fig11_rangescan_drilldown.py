@@ -11,43 +11,53 @@ The paper's three panels for HDD+SSD vs SMBDirect+RamDrive vs Custom:
 
 from conftest import rangescan_experiment
 
-from repro.harness import Design, format_table
+from repro.harness import Design, format_metrics, format_table
 
 
 def run_figure11():
     results = {}
     rows = []
     for design in (Design.HDD_SSD, Design.SMBDIRECT_RAMDRIVE, Design.CUSTOM):
-        trackers = {}
 
         def track(setup):
-            trackers["cpu"] = setup.db_server.cpu.track_utilization(bucket_us=0.1e6)
+            # Adopt the drill-down instruments into the setup's registry
+            # and read everything back through it below.
+            registry = setup.metrics
+            registry.register(
+                "fig11.cpu_busy",
+                setup.db_server.cpu.track_utilization(bucket_us=0.1e6),
+            )
             extension = setup.database.pool.extension
-            extension.read_latency.reset()
-            remote_file = getattr(extension.store, "remote_file", None)
-            if remote_file is not None:
-                remote_file.io_latency.reset()
-            trackers["bytes"] = extension.track_throughput(bucket_us=0.1e6)
+            registry.get("bp.ext.read_latency").reset()
+            if "rfile.bpext.io_latency" in registry:
+                registry.get("rfile.bpext.io_latency").reset()
+            registry.register(
+                "fig11.ext_bytes", extension.track_throughput(bucket_us=0.1e6)
+            )
 
         setup, _table, report = rangescan_experiment(
             design, update_fraction=0.0, workers=80, queries=25, track=track,
         )
+        registry = setup.metrics
         elapsed = report.elapsed_us
         cores = setup.db_server.spec.cores
-        busy = sum(v for _t, v in trackers["cpu"].series())
+        busy = sum(v for _t, v in registry.get("fig11.cpu_busy").series())
         cpu_pct = 100.0 * busy / (elapsed * cores)
-        moved = sum(v for _t, v in trackers["bytes"].series())
+        moved = sum(v for _t, v in registry.get("fig11.ext_bytes").series())
         io_mb_per_s = (moved / 1e6) / (elapsed / 1e6)
-        ext_store = setup.database.pool.extension.store
-        remote_file = getattr(ext_store, "remote_file", None)
-        if remote_file is not None:
+        if "rfile.bpext.io_latency" in registry:
             # Custom: the issuing scheduler keeps its core while spinning,
             # so the observed latency is the RDMA completion time.
-            ext_read_us = remote_file.io_latency.mean
+            ext_read_us = registry.get("rfile.bpext.io_latency").mean
         else:
-            ext_read_us = setup.database.pool.extension.read_latency.mean
+            ext_read_us = registry.get("bp.ext.read_latency").mean
         results[design] = (io_mb_per_s, cpu_pct, ext_read_us)
         rows.append([design.value, io_mb_per_s, cpu_pct, ext_read_us])
+        print()
+        print(format_metrics(
+            registry, prefix="bp",
+            title=f"Figure 11 metrics [{design.value}] (buffer-pool subtree)",
+        ))
     print()
     print(format_table(
         ["design", "ext I/O MB/s", "CPU %", "ext read latency us"], rows,

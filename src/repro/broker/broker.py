@@ -134,14 +134,17 @@ class MemoryBroker:
 
     def register_region(self, region: MemoryRegion) -> ProcessGenerator:
         """A memory proxy offers a pinned, registered MR to the cluster."""
-        self._require_up()
-        if not region.registered:
-            raise BrokerError("only NIC-registered regions can be brokered")
-        self._available.setdefault(region.server.name, deque()).append(region)
-        yield from self.store.put(
-            f"regions/{region.server.name}/{region.mr_id}", region.size
-        )
-        return region
+        with self.sim.tracer.span(
+            "broker.register_region", cat="rpc", provider=region.server.name
+        ):
+            self._require_up()
+            if not region.registered:
+                raise BrokerError("only NIC-registered regions can be brokered")
+            self._available.setdefault(region.server.name, deque()).append(region)
+            yield from self.store.put(
+                f"regions/{region.server.name}/{region.mr_id}", region.size
+            )
+            return region
 
     def withdraw_region(self, provider: str) -> ProcessGenerator:
         """Remove one unleased MR of ``provider`` (local memory pressure).
@@ -195,6 +198,21 @@ class MemoryBroker:
         a circuit breaker) — honoured only while the remaining providers
         can still cover the request, so availability beats purity.
         """
+        with self.sim.tracer.span(
+            "broker.acquire", cat="rpc", holder=holder, bytes=bytes_needed
+        ):
+            return (
+                yield from self._acquire(holder, bytes_needed, providers, spread, avoid)
+            )
+
+    def _acquire(
+        self,
+        holder: str,
+        bytes_needed: int,
+        providers: Iterable[str] | None = None,
+        spread: bool = False,
+        avoid: Iterable[str] = (),
+    ) -> ProcessGenerator:
         self._require_up()
         candidates = list(providers) if providers is not None else sorted(self._available)
         candidates = [c for c in candidates if self._available.get(c)]
@@ -249,19 +267,23 @@ class MemoryBroker:
 
     def renew(self, lease: Lease) -> ProcessGenerator:
         """Extend the lease; returns False if it can no longer be renewed."""
-        self._require_up()
-        if lease.state is not LeaseState.ACTIVE or self.sim.now >= lease.expires_at_us:
-            self._expire_if_needed(lease)
-            return False
-        yield from self.store.put(f"leases/{lease.lease_id}", {"renewed_at": self.sim.now})
-        lease.expires_at_us = self.sim.now + lease.duration_us
-        return True
+        with self.sim.tracer.span("broker.renew", cat="rpc", lease=lease.lease_id):
+            self._require_up()
+            if lease.state is not LeaseState.ACTIVE or self.sim.now >= lease.expires_at_us:
+                self._expire_if_needed(lease)
+                return False
+            yield from self.store.put(
+                f"leases/{lease.lease_id}", {"renewed_at": self.sim.now}
+            )
+            lease.expires_at_us = self.sim.now + lease.duration_us
+            return True
 
     def release(self, lease: Lease) -> ProcessGenerator:
         """Voluntary release: the MR returns to the available pool."""
-        self._require_up()
-        if lease.state is LeaseState.ACTIVE:
-            yield from self._terminate(lease, LeaseState.RELEASED)
+        with self.sim.tracer.span("broker.release", cat="rpc", lease=lease.lease_id):
+            self._require_up()
+            if lease.state is LeaseState.ACTIVE:
+                yield from self._terminate(lease, LeaseState.RELEASED)
 
     def check_expiry(self) -> list[Lease]:
         """Mark overdue leases expired; returns the newly-expired ones.

@@ -125,9 +125,10 @@ class BufferPoolExtension:
                 self._free.append(slot)
 
         try:
-            yield from self.store.write_page(
-                page, slot=slot, background=True, on_abort=_write_aborted
-            )
+            with self._sim().tracer.span("bpext.put", slot=slot):
+                yield from self.store.write_page(
+                    page, slot=slot, background=True, on_abort=_write_aborted
+                )
             if self.bytes_series is not None:
                 self.bytes_series.add(self._now(), 8192)
         except DeadlineExceeded:
@@ -169,7 +170,8 @@ class BufferPoolExtension:
         self._slots.move_to_end(page_id)
         start = self._now()
         try:
-            page = yield from self.store.read_page(slot, background=background)
+            with self._sim().tracer.span("bpext.read", slot=slot):
+                page = yield from self.store.read_page(slot, background=background)
         except DeadlineExceeded:
             # Transient: the remote image is still there, only slow.
             # Keep the slot mapped and let the caller fall back to disk.
@@ -187,12 +189,15 @@ class BufferPoolExtension:
         self.hits += 1
         return page
 
-    def _now(self) -> float:
+    def _sim(self):
         # All stores carry either a server or a remote file with an owner.
         owner = getattr(self.store, "server", None)
         if owner is None:
             owner = self.store.remote_file.owner  # type: ignore[attr-defined]
-        return owner.sim.now
+        return owner.sim
+
+    def _now(self) -> float:
+        return self._sim().now
 
     def _slot_provider(self, slot: int) -> str | None:
         """Memory server backing ``slot``, if the store can tell."""
@@ -371,6 +376,10 @@ class BufferPool:
             self._inflight[page_id] = done
         start = self.server.sim.now
         layer = self.reliability
+        span = self.server.sim.tracer.span(
+            "bp.fault", cat="fault",
+            page=f"{page_id[0]}:{page_id[1]}", background=background,
+        )
         try:
             page = None
             if self.extension is not None and self.extension.contains(page_id):
@@ -397,6 +406,7 @@ class BufferPool:
                 self.fault_latency.record(self.server.sim.now - start)
             return page
         finally:
+            span.close()
             del self._inflight[page_id]
             done.succeed()
 
@@ -435,31 +445,35 @@ class BufferPool:
             value = yield primary  # nothing to hedge with: sit it out
             return value, "ext" if value is not None else None
         layer.hedge.issued += 1
+        hedge_span = sim.tracer.span("bp.hedge", delay_us=delay)
         backup = sim.spawn(
             absorb(store.read_page(page_id[1], background=True)),
             name="bp.hedge.backup",
         )
-        index, value = yield sim.any_of([primary, backup])
-        if index == 0:
+        try:
+            index, value = yield sim.any_of([primary, backup])
+            if index == 0:
+                if value is not None:
+                    layer.hedge.primary_wins += 1
+                    return value, "ext"
+                # Primary failed after the hedge fired: the backup read,
+                # already in flight, doubles as the disk fallback.
+                value = yield backup
+                if value is not None:
+                    layer.hedge.record_backup_win(rescued=True)
+                    return value, "base"
+                return None, None
             if value is not None:
-                layer.hedge.primary_wins += 1
-                return value, "ext"
-            # Primary failed after the hedge fired: the backup read,
-            # already in flight, doubles as the disk fallback.
-            value = yield backup
-            if value is not None:
-                layer.hedge.record_backup_win(rescued=True)
+                layer.hedge.record_backup_win(rescued=False)
+                # Cancel the losing primary: a read parked on a browned-out
+                # link would otherwise hold the provider's NIC engine for
+                # its whole degraded service time, starving later traffic.
+                primary.interrupt(cause="hedged read: backup won")
                 return value, "base"
-            return None, None
-        if value is not None:
-            layer.hedge.record_backup_win(rescued=False)
-            # Cancel the losing primary: a read parked on a browned-out
-            # link would otherwise hold the provider's NIC engine for
-            # its whole degraded service time, starving later traffic.
-            primary.interrupt(cause="hedged read: backup won")
-            return value, "base"
-        value = yield primary  # backup lost the page mid-race: rare
-        return value, "ext" if value is not None else None
+            value = yield primary  # backup lost the page mid-race: rare
+            return value, "ext" if value is not None else None
+        finally:
+            hedge_span.close()
 
     def prefetch(self, file_id: int, page_nos: list[int]) -> None:
         """Issue background read-ahead for ``page_nos`` (scan path).
@@ -654,15 +668,16 @@ class BufferPool:
                 page = self._pending_writes.get(page_id)
                 if page is not None:
                     by_file.setdefault(page_id[0], []).append(page)
-            for file_id, pages in by_file.items():
-                store = self.files.get(file_id)
-                if store is None:
-                    continue
-                if hasattr(store, "write_scattered"):
-                    yield from store.write_scattered(pages)
-                else:
-                    for page in pages:
-                        yield from store.write_page(page)
+            with self.server.sim.tracer.span("bp.writeback", pages=len(batch)):
+                for file_id, pages in by_file.items():
+                    store = self.files.get(file_id)
+                    if store is None:
+                        continue
+                    if hasattr(store, "write_scattered"):
+                        yield from store.write_scattered(pages)
+                    else:
+                        for page in pages:
+                            yield from store.write_page(page)
             # After the flush, the clean images can go to the extension.
             for file_id, pages in by_file.items():
                 for page in pages:

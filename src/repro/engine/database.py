@@ -169,13 +169,17 @@ class Database:
     ) -> ProcessGenerator:
         """Run an operator tree; returns a :class:`QueryResult`."""
         start = self.sim.now
-        yield from self.server.cpu.compute(self.query_setup_cpu_us)
-        grant = yield from self.grants.acquire(max(1, requested_memory_bytes))
-        ctx = ExecContext(db=self, grant=grant, memory_consumers=memory_consumers)
-        try:
-            rows = yield from plan.run(ctx)
-        finally:
-            grant.release()
+        with self.sim.tracer.span(
+            "query", cat="query", plan=type(plan).__name__,
+            requested_memory=requested_memory_bytes,
+        ):
+            yield from self.server.cpu.compute(self.query_setup_cpu_us)
+            grant = yield from self.grants.acquire(max(1, requested_memory_bytes))
+            ctx = ExecContext(db=self, grant=grant, memory_consumers=memory_consumers)
+            try:
+                rows = yield from plan.run(ctx)
+            finally:
+                grant.release()
         self.queries_executed += 1
         return QueryResult(rows, ctx.metrics, self.sim.now - start)
 

@@ -65,10 +65,12 @@ class GrantManager:
         granted = min(requested_bytes, self.max_grant_bytes)
         if granted < requested_bytes:
             self.grants_capped += 1
-        while self.in_use + granted > self.total_bytes:
-            waiter = self.server.sim.event()
-            self._waiters.append((waiter, granted))
-            yield waiter
+        if self.in_use + granted > self.total_bytes:
+            with self.server.sim.tracer.span("grant.wait", cat="queue", bytes=granted):
+                while self.in_use + granted > self.total_bytes:
+                    waiter = self.server.sim.event()
+                    self._waiters.append((waiter, granted))
+                    yield waiter
         self.in_use += granted
         self.grants_issued += 1
         return Grant(requested_bytes=requested_bytes, granted_bytes=granted, manager=self)

@@ -70,11 +70,41 @@ class ExecContext:
         return max(1, self.grant.granted_bytes // max(1, self.memory_consumers))
 
 
+def _traced_run(run):
+    """Wrap an operator's ``run`` so each execution is one span.
+
+    The span carries the operator class name and the output cardinality;
+    children opened during execution (page faults, device service, CPU
+    slices — and nested operators' own wrapped ``run``) become causal
+    descendants, which is what the critical-path drill-down walks.
+    """
+
+    def wrapper(self, ctx: ExecContext) -> ProcessGenerator:
+        tracer = ctx.db.sim.tracer
+        if not tracer.enabled:
+            return (yield from run(self, ctx))
+        with tracer.span(type(self).__name__, cat="operator") as span:
+            rows = yield from run(self, ctx)
+            if hasattr(rows, "__len__"):
+                span.set(rows_out=len(rows))
+        return rows
+
+    wrapper._traced = True
+    wrapper.__wrapped__ = run
+    return wrapper
+
+
 class Operator(abc.ABC):
     """Base: produces a materialized row list when run."""
 
     #: Estimated output row width (bytes), for spill accounting.
     row_bytes: int = 64
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        run = cls.__dict__.get("run")
+        if run is not None and not getattr(run, "_traced", False):
+            cls.run = _traced_run(run)
 
     @abc.abstractmethod
     def run(self, ctx: ExecContext) -> ProcessGenerator: ...

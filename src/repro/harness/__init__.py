@@ -3,11 +3,11 @@
 from .dbbench import DbSetup, build_database, prewarm_extension, rebuild_extension
 from .designs import DESIGNS, REMOTE_DESIGNS, Design, DesignConfig
 from .iobench import IO_DESIGNS, IoTarget, build_custom_multi, build_io_target
-from .report import format_series, format_table
+from .report import format_metrics, format_series, format_table
 
 __all__ = [
     "DESIGNS", "DbSetup", "Design", "DesignConfig", "IO_DESIGNS",
     "IoTarget", "REMOTE_DESIGNS", "build_custom_multi", "build_database",
-    "build_io_target", "format_series", "format_table", "prewarm_extension",
-    "rebuild_extension",
+    "build_io_target", "format_metrics", "format_series", "format_table",
+    "prewarm_extension", "rebuild_extension",
 ]

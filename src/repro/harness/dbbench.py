@@ -19,6 +19,13 @@ from ..net import Network, SmbClient, SmbDirectClient, SmbFileServer
 from ..reliability import ReliabilityLayer, ReliabilityPolicy
 from ..remotefile import AccessPolicy, RemoteMemoryFilesystem, StagingPool
 from ..storage import GB, MB, RamDrive, Raid0Array, SsdDevice
+from ..telemetry import MetricsRegistry
+from ..telemetry.attach import (
+    register_cluster,
+    register_pool,
+    register_reliability,
+    register_remote_file,
+)
 from .designs import Design, DESIGNS
 
 __all__ = [
@@ -51,6 +58,9 @@ class DbSetup:
     #: Reliability policy layer (Custom design, opt-in): deadlines,
     #: retries, circuit breakers, hedged reads, admission control.
     reliability: Optional[ReliabilityLayer] = None
+    #: Every instrument in the setup (devices, NICs, CPUs, buffer pool,
+    #: remote files, reliability) adopted into one registry.
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def sim(self):
@@ -207,6 +217,16 @@ def build_database(
     if setup.reliability is not None:
         database.pool.attach_reliability(setup.reliability)
     setup.database = database
+
+    registry = MetricsRegistry(f"dbbench.{design.name.lower()}")
+    register_cluster(registry, cluster)
+    register_pool(registry, "bp", database.pool)
+    if setup.remote_fs is not None:
+        for file in setup.remote_fs.files.values():
+            register_remote_file(registry, f"rfile.{file.name}", file)
+    if setup.reliability is not None:
+        register_reliability(registry, "reliability", setup.reliability)
+    setup.metrics = registry
     return setup
 
 

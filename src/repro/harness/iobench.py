@@ -15,6 +15,8 @@ from ..cluster import Cluster, Server
 from ..net import Network, SmbClient, SmbDirectClient, SmbFileServer
 from ..remotefile import AccessPolicy, RemoteFile, RemoteMemoryFilesystem, StagingPool
 from ..storage import GB, MB, BlockDevice, RamDrive, Raid0Array, SsdDevice
+from ..telemetry import MetricsRegistry
+from ..telemetry.attach import register_cluster, register_remote_file
 
 __all__ = ["IoTarget", "build_io_target", "build_custom_multi", "IO_DESIGNS"]
 
@@ -44,6 +46,9 @@ class IoTarget:
     _reader: object
     db_server: Server | None = None
     memory_servers: tuple[Server, ...] = ()
+    #: Every instrument behind the target (devices, NICs, CPUs, remote
+    #: file) adopted into one registry; populated by the builders.
+    metrics: MetricsRegistry | None = None
 
     def read(self, offset: int, size: int):
         yield from self._reader.read(offset, size)
@@ -78,6 +83,17 @@ class _DeviceAdapter:
         yield from self.device.write(offset, size)
 
 
+def _bind_metrics(target: IoTarget) -> IoTarget:
+    """Adopt every instrument behind ``target`` into one registry."""
+    registry = MetricsRegistry(target.name)
+    register_cluster(registry, target.cluster)
+    file = getattr(target._reader, "file", None)
+    if file is not None:
+        register_remote_file(registry, f"rfile.{file.name}", file)
+    target.metrics = registry
+    return target
+
+
 def _base_cluster(seed: int = 0) -> tuple[Cluster, Network, Server]:
     cluster = Cluster(seed=seed)
     network = Network(cluster.sim)
@@ -96,12 +112,16 @@ def build_io_target(design: str, span_bytes: int = DEFAULT_SPAN, seed: int = 0) 
         device = Raid0Array(sim, spindles=spindles, name=design,
                             rng=cluster.rng.stream("hdd"))
         db.attach_device("data", device)
-        return IoTarget(design, cluster, span_bytes, _DeviceAdapter(device), db_server=db)
+        return _bind_metrics(
+            IoTarget(design, cluster, span_bytes, _DeviceAdapter(device), db_server=db)
+        )
 
     if design == "SSD":
         device = SsdDevice(sim, name="ssd")
         db.attach_device("ssd", device)
-        return IoTarget(design, cluster, span_bytes, _DeviceAdapter(device), db_server=db)
+        return _bind_metrics(
+            IoTarget(design, cluster, span_bytes, _DeviceAdapter(device), db_server=db)
+        )
 
     mem = cluster.add_server("mem0", memory_bytes=max(384 * GB, span_bytes + 64 * GB))
     network.attach(mem)
@@ -114,15 +134,15 @@ def build_io_target(design: str, span_bytes: int = DEFAULT_SPAN, seed: int = 0) 
             client = SmbClient(db, file_server)
         else:
             client = SmbDirectClient(db, file_server)
-        return IoTarget(
+        return _bind_metrics(IoTarget(
             design, cluster, span_bytes, client, db_server=db, memory_servers=(mem,)
-        )
+        ))
 
     if design == "Custom":
         target = _build_custom(cluster, db, [mem], span_bytes)
-        return IoTarget(
+        return _bind_metrics(IoTarget(
             design, cluster, span_bytes, target, db_server=db, memory_servers=(mem,)
-        )
+        ))
 
     raise ValueError(f"unknown design {design!r}; expected one of {IO_DESIGNS}")
 
@@ -173,10 +193,10 @@ def build_custom_multi(
         network.attach(server)
         memory_servers.append(server)
     target = _build_custom(cluster, db, memory_servers, span_bytes, policy=policy)
-    return IoTarget(
+    return _bind_metrics(IoTarget(
         f"Custom x{n_memory_servers}", cluster, span_bytes, target,
         db_server=db, memory_servers=tuple(memory_servers),
-    )
+    ))
 
 
 def build_multi_db(
@@ -225,4 +245,5 @@ def build_multi_db(
                 db_server=db, memory_servers=(mem,),
             )
         )
-    return targets
+    # Bind after the loop so every registry sees the full cluster.
+    return [_bind_metrics(target) for target in targets]

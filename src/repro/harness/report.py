@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Sequence
 
-__all__ = ["format_table", "format_series"]
+__all__ = ["format_table", "format_series", "format_metrics"]
 
 
 def _fmt(value: Any) -> str:
@@ -39,6 +39,20 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
     for row in rendered:
         lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def format_metrics(registry: Any, prefix: str = "", title: str = "") -> str:
+    """Render a :class:`~repro.telemetry.MetricsRegistry` as a table.
+
+    Uses the registry's :meth:`flat` view, so histograms arrive already
+    expanded into their summary statistics.  ``prefix`` narrows the
+    dump to one subtree (e.g. ``"server.db"``).
+    """
+    flat = registry.flat(prefix)
+    rows = [(name, flat[name]) for name in sorted(flat)]
+    return format_table(
+        ["metric", "value"], rows, title=title or f"metrics: {registry.name}"
+    )
 
 
 def format_series(name: str, points: Iterable[tuple[float, float]],

@@ -192,10 +192,16 @@ class NicPort:
         serviced while the link is sick, and a backlog queued during a
         brown-out drains at healthy speed once the link restores.
         """
+        sim = self.network.sim
         request = engine.request()
         try:
-            yield request
-            yield self.network.sim.timeout(timing())
+            if request.triggered:
+                yield request
+            else:
+                with sim.tracer.span("nic.queue", cat="queue", engine=engine.name):
+                    yield request
+            with sim.tracer.span("nic.xmit", cat="net", engine=engine.name):
+                yield sim.timeout(timing())
         finally:
             engine.cancel(request)
 
@@ -207,10 +213,13 @@ class NicPort:
         self._check_alive(dst)
         sim = self.network.sim
         start = sim.now
-        yield from self._engine(self.tx, lambda: self._engine_time(size))
-        yield sim.timeout(self.network.propagation_us + self.profile.processing_us)
-        self._check_alive(dst)
-        yield from self._engine(dst.rx, lambda: dst._engine_time(size))
+        with sim.tracer.span(
+            "nic.transfer", cat="net", src=self.server.name, dst=dst.server.name, size=size
+        ):
+            yield from self._engine(self.tx, lambda: self._engine_time(size))
+            yield sim.timeout(self.network.propagation_us + self.profile.processing_us)
+            self._check_alive(dst)
+            yield from self._engine(dst.rx, lambda: dst._engine_time(size))
         self.bytes_sent += size
         self.messages_sent += 1
         dst.bytes_received += size
@@ -220,9 +229,10 @@ class NicPort:
         """A small control message (request packet, ack, doorbell)."""
         self._check_alive(dst)
         sim = self.network.sim
-        yield sim.timeout(
-            self.profile.per_message_us * self.latency_multiplier
-            + self.network.propagation_us
-            + self.profile.processing_us
-        )
+        with sim.tracer.span("nic.control", cat="net", dst=dst.server.name):
+            yield sim.timeout(
+                self.profile.per_message_us * self.latency_multiplier
+                + self.network.propagation_us
+                + self.profile.processing_us
+            )
         self.messages_sent += 1

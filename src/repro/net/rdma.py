@@ -192,13 +192,14 @@ class QueuePair:
         sim = self.initiator.sim
         src: NicPort = self.initiator.nic
         dst: NicPort = self.target.nic
-        # Post the read work request and send it to the target NIC.
-        yield sim.timeout(POST_CPU_US)
-        yield from src.send_control(dst)
-        # Target NIC DMAs the data and streams it back — no target CPU.
-        yield from dst.transfer(src, size)
-        # Completion-queue entry processed at the initiator.
-        yield sim.timeout(POST_CPU_US)
+        with sim.tracer.span("rdma.read", provider=self.target.name, size=size):
+            # Post the read work request and send it to the target NIC.
+            yield sim.timeout(POST_CPU_US)
+            yield from src.send_control(dst)
+            # Target NIC DMAs the data and streams it back — no target CPU.
+            yield from dst.transfer(src, size)
+            # Completion-queue entry processed at the initiator.
+            yield sim.timeout(POST_CPU_US)
         self.reads += 1
         if nodata:
             return None
@@ -225,11 +226,12 @@ class QueuePair:
         sim = self.initiator.sim
         src: NicPort = self.initiator.nic
         dst: NicPort = self.target.nic
-        yield sim.timeout(POST_CPU_US)
-        yield from src.transfer(dst, length)
-        # Hardware ack from the target NIC.
-        yield from dst.send_control(src)
-        yield sim.timeout(POST_CPU_US)
+        with sim.tracer.span("rdma.write", provider=self.target.name, size=length):
+            yield sim.timeout(POST_CPU_US)
+            yield from src.transfer(dst, length)
+            # Hardware ack from the target NIC.
+            yield from dst.send_control(src)
+            yield sim.timeout(POST_CPU_US)
         if not nodata:
             if payload is not None:
                 region.write_bytes(offset, payload)

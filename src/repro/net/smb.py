@@ -42,12 +42,13 @@ class SmbFileServer:
 
     def serve(self, op: IoOp, offset: int, size: int, request_cpu_us: float) -> ProcessGenerator:
         """Parse + dispatch + device access, on a pool worker."""
-        yield self.workers.request()
-        try:
-            yield from self.server.cpu.compute(request_cpu_us)
-            yield from self.device.io(op, offset, size)
-        finally:
-            self.workers.release()
+        with self.server.sim.tracer.span("smb.serve", cat="rpc", op=op.value, size=size):
+            yield self.workers.request()
+            try:
+                yield from self.server.cpu.compute(request_cpu_us)
+                yield from self.device.io(op, offset, size)
+            finally:
+                self.workers.release()
         self.requests_served += 1
 
 
@@ -67,6 +68,10 @@ class SmbClient:
         self._from_server = TcpChannel(file_server.server, client)
 
     def io(self, op: IoOp, offset: int, size: int) -> ProcessGenerator:
+        with self.client.sim.tracer.span("smb.io", op=op.value, size=size):
+            yield from self._io(op, offset, size)
+
+    def _io(self, op: IoOp, offset: int, size: int) -> ProcessGenerator:
         yield from self.client.cpu.compute(self.CLIENT_STACK_CPU_US)
         if op is IoOp.WRITE:
             # Payload travels with the request.
@@ -108,6 +113,10 @@ class SmbDirectClient:
         self._stack = Resource(client.sim, capacity=1, name=f"{client.name}.smbd.stack")
 
     def io(self, op: IoOp, offset: int, size: int) -> ProcessGenerator:
+        with self.client.sim.tracer.span("smbd.io", op=op.value, size=size):
+            yield from self._io(op, offset, size)
+
+    def _io(self, op: IoOp, offset: int, size: int) -> ProcessGenerator:
         sim = self.client.sim
         server = self.file_server.server
         yield from self.client.cpu.compute(self.CLIENT_CPU_US)

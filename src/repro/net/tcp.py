@@ -76,6 +76,13 @@ class TcpChannel:
 
     def send(self, size: int) -> ProcessGenerator:
         """Transmit ``size`` bytes src -> dst, charging both CPUs."""
+        with self.sim.tracer.span(
+            "tcp.send", cat="net", src=self.src.server.name,
+            dst=self.dst.server.name, size=size,
+        ):
+            return (yield from self._send(size))
+
+    def _send(self, size: int) -> ProcessGenerator:
         profile = self.src.profile
         src_server = self.src.server
         dst_server = self.dst.server

@@ -128,20 +128,26 @@ class ReliabilityLayer:
         propagate immediately; ``DeadlineExceeded`` is always eligible.
         """
         retry_on = tuple(retry_on) + (DeadlineExceeded,)
+        tracer = self.sim.tracer
         attempt = 0
         while True:
             try:
-                return (
-                    yield from self.with_deadline(
-                        factory(), deadline_us, family=family, name=name
+                with tracer.span(
+                    "rpc.attempt", cat="rpc", call=name or family, attempt=attempt
+                ):
+                    return (
+                        yield from self.with_deadline(
+                            factory(), deadline_us, family=family, name=name
+                        )
                     )
-                )
             except retry_on:
                 attempt += 1
                 if not self.retry.allows(attempt):
                     raise
                 self.note_retry(family)
-                yield self.sim.timeout(self.retry.backoff_us(attempt))
+                # Retries surface as attempt/backoff child spans.
+                with tracer.span("reliability.backoff", cat="queue", attempt=attempt):
+                    yield self.sim.timeout(self.retry.backoff_us(attempt))
 
     # -- hedging -----------------------------------------------------------
 

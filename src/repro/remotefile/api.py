@@ -377,14 +377,16 @@ class RemoteFile:
                     f"{self.name}: provider {provider} is quarantined (circuit open)"
                 )
             try:
-                value = yield from layer.with_deadline(
-                    self._transfer_read_once(
-                        lease, mr_offset, length, opaque, nodata=nodata, background=background
-                    ),
-                    layer.policy.read_deadline_us,
-                    family="read",
-                    name=f"{self.name}.read@{provider}",
-                )
+                with sim.tracer.span("rfile.attempt", provider=provider, attempt=attempt):
+                    value = yield from layer.with_deadline(
+                        self._transfer_read_once(
+                            lease, mr_offset, length, opaque, nodata=nodata,
+                            background=background,
+                        ),
+                        layer.policy.read_deadline_us,
+                        family="read",
+                        name=f"{self.name}.read@{provider}",
+                    )
             except Interrupt:
                 # Abandoned from outside (hedged backup won, caller
                 # killed): not a verdict on the provider — but a
@@ -400,7 +402,10 @@ class RemoteFile:
                 if not layer.retry.allows(attempt) or not self._retryable(lease):
                     raise
                 layer.note_retry("read")
-                yield sim.timeout(layer.retry.backoff_us(attempt))
+                # The backoff sleep is a child span, so retried reads
+                # show up as attempt/backoff/attempt chains in traces.
+                with sim.tracer.span("reliability.backoff", cat="queue", attempt=attempt):
+                    yield sim.timeout(layer.retry.backoff_us(attempt))
             else:
                 layer.breakers.record_success(provider)
                 return value
@@ -423,6 +428,7 @@ class RemoteFile:
             ticket = yield from self.reliability.admission.enter(lease.provider)
         slots = None
         transfer = None
+        span = sim.tracer.span("rfile.read", provider=lease.provider, size=length)
         try:
             slots = yield from self.staging.acquire(length)
             transfer = sim.spawn(
@@ -442,6 +448,7 @@ class RemoteFile:
             # Copy from the staging MR into the destination buffer.
             yield from cpu.compute(self.staging.memcpy_us(length))
         finally:
+            span.close()
             if transfer is not None:
                 # If the caller is abandoning this read (deadline fired,
                 # a hedged backup won, an interrupt), kill the transfer
@@ -530,6 +537,7 @@ class RemoteFile:
         slots = None
         released = False
         transfer = None
+        span = sim.tracer.span("rfile.write", provider=lease.provider, size=length)
         try:
             slots = yield from self.staging.acquire(length)
             # Copy the page into the staging MR first; the source buffer
@@ -593,6 +601,7 @@ class RemoteFile:
                     f"{self.name}: write aborted, provider {lease.provider} failed"
                 )
         finally:
+            span.close()
             if not released:
                 if transfer is not None:
                     # Foreground write abandoned mid-flight (deadline or

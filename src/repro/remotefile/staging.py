@@ -75,7 +75,12 @@ class StagingPool:
         slots = self.slots_for(size)
         request = self.slots.request(slots)
         try:
-            yield request
+            if request.triggered:
+                yield request
+            else:
+                # Slot-pool backpressure: make the wait visible as queueing.
+                with self.server.sim.tracer.span("staging.wait", cat="queue", slots=slots):
+                    yield request
         except BaseException:
             self.slots.cancel(request)
             raise

@@ -83,7 +83,13 @@ class Cpu:
         """
         request = self.cores.request()
         try:
-            yield request
+            if request.triggered:
+                yield request
+            else:
+                # Only an actual wait gets a span — an immediate grant
+                # would just litter the trace with zero-width events.
+                with self.sim.tracer.span("cpu.runq", cat="queue"):
+                    yield request
         except BaseException:
             self.cores.cancel(request)
             raise
@@ -95,7 +101,8 @@ class Cpu:
         yield from self.acquire_core()
         start = self.sim.now
         try:
-            yield self.sim.timeout(duration_us)
+            with self.sim.tracer.span("cpu.compute", cat="cpu"):
+                yield self.sim.timeout(duration_us)
         finally:
             self._record_busy(start, self.sim.now - start)
             self.cores.release()
@@ -110,7 +117,8 @@ class Cpu:
         yield from self.acquire_core()
         start = self.sim.now
         try:
-            yield event
+            with self.sim.tracer.span("cpu.spin", cat="cpu"):
+                yield event
         finally:
             self._record_busy(start, self.sim.now - start)
             self.cores.release()
@@ -120,15 +128,16 @@ class Cpu:
         """Yield the core, wait for ``event``, pay the switch-in penalty."""
         yield event
         self.context_switches += 1
-        yield self.sim.timeout(self.reschedule_delay_us)
-        # Switch-in consumes a slice of CPU (and may queue behind others).
-        yield from self.acquire_core()
-        start = self.sim.now
-        try:
-            yield self.sim.timeout(self.context_switch_us)
-        finally:
-            self._record_busy(start, self.sim.now - start)
-            self.cores.release()
+        with self.sim.tracer.span("cpu.switchin", cat="cpu"):
+            yield self.sim.timeout(self.reschedule_delay_us)
+            # Switch-in consumes a slice of CPU (and may queue behind others).
+            yield from self.acquire_core()
+            start = self.sim.now
+            try:
+                yield self.sim.timeout(self.context_switch_us)
+            finally:
+                self._record_busy(start, self.sim.now - start)
+                self.cores.release()
         return event.value
 
     def background_load(self, per_event_us: float, event_stream_period_us: float):

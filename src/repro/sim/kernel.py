@@ -20,6 +20,8 @@ import heapq
 from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..telemetry.tracer import NOOP_TRACER
+
 __all__ = [
     "Event",
     "Timeout",
@@ -139,6 +141,9 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
         self._interrupts: deque[Interrupt] = deque()
+        # Causal link for tracing: the child inherits the spawner's
+        # innermost open span (no-op on the default tracer).
+        sim.tracer.on_spawn(self)
         bootstrap = Event(sim)
         bootstrap.callbacks.append(self._resume)
         bootstrap.succeed()
@@ -168,20 +173,28 @@ class Process(Event):
         if self._triggered:
             return
         self._target = None
+        # Expose the stepping process so the tracer can keep one span
+        # stack per process (processes interleave arbitrarily).
+        sim = self.sim
+        previous = sim._active_process
+        sim._active_process = self
         try:
-            if self._interrupts:
-                step = self.generator.throw(self._interrupts.popleft())
-            elif event._exception is not None:
-                step = self.generator.throw(event._exception)
-            else:
-                step = self.generator.send(event._value)
-        except StopIteration as stop:
-            self._finish(stop.value)
-            return
-        except Interrupt:
-            # Process chose not to handle the interrupt: dies silently.
-            self._finish(None)
-            return
+            try:
+                if self._interrupts:
+                    step = self.generator.throw(self._interrupts.popleft())
+                elif event._exception is not None:
+                    step = self.generator.throw(event._exception)
+                else:
+                    step = self.generator.send(event._value)
+            except StopIteration as stop:
+                self._finish(stop.value)
+                return
+            except Interrupt:
+                # Process chose not to handle the interrupt: dies silently.
+                self._finish(None)
+                return
+        finally:
+            sim._active_process = previous
         if not isinstance(step, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {type(step).__name__}, expected Event"
@@ -198,6 +211,7 @@ class Process(Event):
     def _finish(self, value: Any) -> None:
         self._triggered = True
         self._value = value
+        self.sim.tracer.on_finish(self)
         self.sim._push_triggered(self)
 
 
@@ -382,6 +396,11 @@ class Simulator:
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._running = False
+        #: Span tracer; :data:`~repro.telemetry.NOOP_TRACER` unless a
+        #: :class:`~repro.telemetry.TraceRecorder` is installed.
+        self.tracer = NOOP_TRACER
+        #: The process currently being stepped (tracing context).
+        self._active_process: Optional[Process] = None
 
     # -- scheduling ------------------------------------------------------
 

@@ -19,9 +19,13 @@ class LatencyRecorder:
     def __init__(self, name: str = ""):
         self.name = name
         self.samples: list[float] = []
+        # Sorted-view cache so repeated percentile reads (p50/p95/p99 on
+        # the same recorder) don't re-sort O(n log n) each call.
+        self._sorted: list[float] | None = None
 
     def record(self, latency_us: float) -> None:
         self.samples.append(latency_us)
+        self._sorted = None
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -40,7 +44,11 @@ class LatencyRecorder:
         """Nearest-rank percentile; ``pct`` in [0, 100]."""
         if not self.samples:
             return 0.0
-        ordered = sorted(self.samples)
+        ordered = self._sorted
+        if ordered is None or len(ordered) != len(self.samples):
+            # Length check guards callers that append to ``samples``
+            # directly instead of going through ``record``.
+            ordered = self._sorted = sorted(self.samples)
         rank = max(0, min(len(ordered) - 1, math.ceil(pct / 100.0 * len(ordered)) - 1))
         return ordered[rank]
 
@@ -62,6 +70,7 @@ class LatencyRecorder:
 
     def reset(self) -> None:
         self.samples.clear()
+        self._sorted = None
 
 
 class Counter:

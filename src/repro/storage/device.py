@@ -65,6 +65,8 @@ class BlockDevice(abc.ABC):
         #: Host server, set by :meth:`repro.cluster.Server.attach_device`;
         #: submissions are refused while the host is down.
         self.owner = None
+        # Span names are hot-path constants; build them once.
+        self._span_names = {op: f"{name}.{op.value}" for op in IoOp}
 
     def track_throughput(self, bucket_us: float = 1e6) -> TimeSeries:
         """Start recording bytes-moved per time bucket (drill-downs)."""
@@ -86,7 +88,8 @@ class BlockDevice(abc.ABC):
         if offset < 0:
             raise ValueError(f"I/O offset must be >= 0, got {offset}")
         start = self.sim.now
-        yield from self._service(op, offset, size)
+        with self.sim.tracer.span(self._span_names[op], cat="disk", size=size):
+            yield from self._service(op, offset, size)
         latency = self.sim.now - start
         self._account(op, size, latency)
         return latency

@@ -1,0 +1,76 @@
+"""repro.telemetry: virtual-time tracing, metrics and Perfetto export.
+
+Three pieces:
+
+* :mod:`~repro.telemetry.tracer` — spans in virtual microseconds with
+  causal parent links, zero-cost no-op by default (the DES kernel holds
+  :data:`NOOP_TRACER` until :func:`install` swaps in a recorder);
+* :mod:`~repro.telemetry.metrics` — a dotted-name registry unifying the
+  :mod:`repro.sim.stats` instruments scattered across devices/caches;
+* :mod:`~repro.telemetry.export` / :mod:`~repro.telemetry.critical_path`
+  — Chrome trace-event JSON (Perfetto / ``about:tracing``), flat metric
+  dicts, and the Figure-11/14-style latency decomposition.
+
+Import structure note: ``sim/kernel.py`` imports the tracer from this
+package, so only the dependency-free tracer module loads eagerly here;
+everything that imports back into ``repro`` (metrics, binders) resolves
+lazily via PEP 562.
+"""
+
+from __future__ import annotations
+
+from .tracer import (
+    NOOP_SPAN,
+    NOOP_TRACER,
+    NoopSpan,
+    NoopTracer,
+    Span,
+    TraceRecorder,
+    install,
+)
+
+__all__ = [
+    "Span",
+    "NoopSpan",
+    "NoopTracer",
+    "TraceRecorder",
+    "NOOP_SPAN",
+    "NOOP_TRACER",
+    "install",
+    "Gauge",
+    "MetricsError",
+    "MetricsRegistry",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "CATEGORIES",
+    "decompose",
+    "format_breakdown",
+    "attach",
+]
+
+_LAZY = {
+    "Gauge": ("repro.telemetry.metrics", "Gauge"),
+    "MetricsError": ("repro.telemetry.metrics", "MetricsError"),
+    "MetricsRegistry": ("repro.telemetry.metrics", "MetricsRegistry"),
+    "to_chrome_trace": ("repro.telemetry.export", "to_chrome_trace"),
+    "write_chrome_trace": ("repro.telemetry.export", "write_chrome_trace"),
+    "validate_chrome_trace": ("repro.telemetry.export", "validate_chrome_trace"),
+    "CATEGORIES": ("repro.telemetry.critical_path", "CATEGORIES"),
+    "decompose": ("repro.telemetry.critical_path", "decompose"),
+    "format_breakdown": ("repro.telemetry.critical_path", "format_breakdown"),
+    "attach": ("repro.telemetry.attach", None),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = module if attr is None else getattr(module, attr)
+    globals()[name] = value
+    return value

@@ -1,0 +1,105 @@
+"""Binders: adopt existing component instruments into one registry.
+
+Devices, NICs, CPUs and caches already keep their own counters and
+recorders (grown organically alongside the models).  Rather than move
+those — every benchmark and fault test reads them in place — the
+binders *register* them into a :class:`~repro.telemetry.MetricsRegistry`
+under stable dotted names, and wrap plain-int counters in lazy gauges.
+Everything is duck-typed: a binder reads only attributes the component
+actually exposes, so it works across design variants (e.g. an IoTarget
+with no database, a DbSetup with no remote memory).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "register_device",
+    "register_nic",
+    "register_cpu",
+    "register_pool",
+    "register_extension",
+    "register_remote_file",
+    "register_reliability",
+    "register_server",
+    "register_cluster",
+]
+
+
+def _gauge_attr(registry: MetricsRegistry, name: str, obj: Any, attr: str) -> None:
+    if hasattr(obj, attr):
+        registry.gauge(name, lambda: float(getattr(obj, attr)))
+
+
+def register_device(registry: MetricsRegistry, prefix: str, device: Any) -> None:
+    """Adopt a :class:`~repro.storage.BlockDevice`'s instruments."""
+    registry.register(f"{prefix}.read_latency", device.read_latency)
+    registry.register(f"{prefix}.write_latency", device.write_latency)
+    for attr in ("reads", "writes", "bytes_read", "bytes_written"):
+        _gauge_attr(registry, f"{prefix}.{attr}", device, attr)
+    if getattr(device, "throughput_series", None) is not None:
+        registry.register(f"{prefix}.throughput", device.throughput_series)
+
+
+def register_nic(registry: MetricsRegistry, prefix: str, nic: Any) -> None:
+    for attr in ("bytes_sent", "bytes_received", "messages_sent", "retransmits"):
+        _gauge_attr(registry, f"{prefix}.{attr}", nic, attr)
+    registry.gauge(f"{prefix}.queue_depth", lambda: float(nic.queue_depth))
+
+
+def register_cpu(registry: MetricsRegistry, prefix: str, cpu: Any) -> None:
+    _gauge_attr(registry, f"{prefix}.context_switches", cpu, "context_switches")
+    registry.gauge(f"{prefix}.utilization", lambda: float(cpu.utilization()))
+    if getattr(cpu, "busy_series", None) is not None:
+        registry.register(f"{prefix}.busy", cpu.busy_series)
+
+
+def register_pool(registry: MetricsRegistry, prefix: str, pool: Any) -> None:
+    """Adopt a :class:`~repro.engine.BufferPool`'s instruments."""
+    registry.register(f"{prefix}.fault_latency", pool.fault_latency)
+    for attr in ("hits", "misses", "ext_hits", "base_reads", "prefetches"):
+        _gauge_attr(registry, f"{prefix}.{attr}", pool, attr)
+    registry.gauge(f"{prefix}.hit_ratio", lambda: float(pool.hit_ratio))
+    if pool.extension is not None:
+        register_extension(registry, f"{prefix}.ext", pool.extension)
+
+
+def register_extension(registry: MetricsRegistry, prefix: str, ext: Any) -> None:
+    registry.register(f"{prefix}.read_latency", ext.read_latency)
+    for attr in ("hits", "misses", "failures", "transient_failures", "quarantine_skips"):
+        _gauge_attr(registry, f"{prefix}.{attr}", ext, attr)
+    if getattr(ext, "bytes_series", None) is not None:
+        registry.register(f"{prefix}.bytes", ext.bytes_series)
+
+
+def register_remote_file(registry: MetricsRegistry, prefix: str, file: Any) -> None:
+    registry.register(f"{prefix}.io_latency", file.io_latency)
+    _gauge_attr(registry, f"{prefix}.reads", file, "reads")
+    _gauge_attr(registry, f"{prefix}.writes", file, "writes")
+
+
+def register_reliability(registry: MetricsRegistry, prefix: str, layer: Any) -> None:
+    registry.gauge(f"{prefix}.deadline_hits", lambda: float(sum(layer.deadline_hits.values())))
+    registry.gauge(f"{prefix}.retries", lambda: float(sum(layer.retries.values())))
+    registry.gauge(f"{prefix}.hedges_issued", lambda: float(layer.hedge.issued))
+    registry.gauge(
+        f"{prefix}.quarantined", lambda: float(len(layer.breakers.quarantined()))
+    )
+
+
+def register_server(registry: MetricsRegistry, prefix: str, server: Any) -> None:
+    """One server: CPU, NIC and every attached device."""
+    if getattr(server, "cpu", None) is not None:
+        register_cpu(registry, f"{prefix}.cpu", server.cpu)
+    if getattr(server, "nic", None) is not None:
+        register_nic(registry, f"{prefix}.nic", server.nic)
+    for device in getattr(server, "devices", {}).values():
+        register_device(registry, f"{prefix}.dev.{device.name}", device)
+
+
+def register_cluster(registry: MetricsRegistry, cluster: Any) -> None:
+    for name, server in sorted(cluster.servers.items()):
+        register_server(registry, f"server.{name}", server)

@@ -26,6 +26,7 @@ from ..engine import (
     HashJoin,
     IndexNestedLoopJoin,
     IndexRangeScan,
+    Operator,
     Schema,
     TableScan,
 )
@@ -146,7 +147,7 @@ def _reporting_scan(db, tables, rng, fraction: float):
     return plan, 1 * _MB, 1
 
 
-class _WithScanLeg:
+class _WithScanLeg(Operator):
     """Run a side scan (EXISTS / correlated-subquery leg) before the
     main child, passing the child's rows through unchanged."""
 

@@ -30,6 +30,7 @@ from ..engine import (
     HashJoin,
     IndexNestedLoopJoin,
     IndexRangeScan,
+    Operator,
     Schema,
     TableScan,
 )
@@ -169,7 +170,7 @@ _KB = 1024
 _MB = 1024 * _KB
 
 
-class _WithScanLeg:
+class _WithScanLeg(Operator):
     """Run a side scan (EXISTS / anti-join leg) before the main child,
     passing the child's rows through unchanged."""
 

@@ -118,6 +118,58 @@ class TestStats:
         assert set(summary) == {"count", "mean_us", "p50_us", "p95_us", "p99_us", "max_us"}
         assert summary["count"] == 1
 
+    def test_summarize_values(self):
+        rec = LatencyRecorder()
+        for value in range(1, 101):
+            rec.record(float(value))
+        summary = summarize(rec)
+        assert summary["count"] == 100
+        assert summary["mean_us"] == pytest.approx(50.5)
+        assert summary["p50_us"] == 50
+        assert summary["p95_us"] == 95
+        assert summary["p99_us"] == 99
+        assert summary["max_us"] == 100
+
+    def test_summarize_empty_recorder_is_all_zero(self):
+        summary = summarize(LatencyRecorder())
+        assert summary == {
+            "count": 0.0, "mean_us": 0.0, "p50_us": 0.0,
+            "p95_us": 0.0, "p99_us": 0.0, "max_us": 0.0,
+        }
+
+    def test_percentile_cache_invalidates_on_record(self):
+        rec = LatencyRecorder()
+        rec.record(10)
+        assert rec.p99 == 10  # populates the sorted cache
+        rec.record(5)  # must invalidate it
+        assert rec.p50 == 5
+        assert rec.p99 == 10
+        assert rec.percentile(0) == 5
+
+    def test_percentile_cache_repeated_reads_are_stable(self):
+        rec = LatencyRecorder()
+        for value in (30, 10, 20):
+            rec.record(value)
+        # Same answers on the cached path as on the first (sorting) read.
+        assert [rec.p50, rec.p50, rec.p95, rec.p99] == [20, 20, 30, 30]
+        assert rec.samples == [30, 10, 20]  # insertion order untouched
+
+    def test_percentile_guards_direct_sample_appends(self):
+        rec = LatencyRecorder()
+        rec.record(10)
+        assert rec.p50 == 10
+        rec.samples.append(1)  # bypasses record(); length check catches it
+        assert rec.p50 == 1
+
+    def test_reset_clears_cache(self):
+        rec = LatencyRecorder()
+        rec.record(10)
+        assert rec.p50 == 10
+        rec.reset()
+        assert rec.p50 == 0
+        rec.record(7)
+        assert rec.p50 == 7
+
     def test_counter_rate(self):
         counter = Counter()
         counter.add(500)

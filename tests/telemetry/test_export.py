@@ -1,0 +1,147 @@
+"""Chrome trace-event export and critical-path decomposition."""
+
+import json
+
+import pytest
+
+from repro.sim import Simulator
+from repro.telemetry import (
+    decompose,
+    format_breakdown,
+    install,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _traced_run():
+    """A tiny two-process trace with known timings."""
+    sim = Simulator()
+    tracer = install(sim)
+
+    def transfer():
+        with tracer.span("nic.xmit", cat="net", size=8192):
+            yield sim.timeout(10)
+
+    def query():
+        with tracer.span("query", cat="query", plan=object()):
+            with tracer.span("cpu.compute", cat="cpu"):
+                yield sim.timeout(5)
+            yield sim.spawn(transfer())
+            yield sim.timeout(3)  # uncategorized tail -> blocked
+
+    sim.run_until_complete(sim.spawn(query()))
+    return sim, tracer
+
+
+class TestChromeTrace:
+    def test_export_validates_and_round_trips(self):
+        _sim, tracer = _traced_run()
+        trace = to_chrome_trace(tracer, label="unit")
+        events = validate_chrome_trace(trace)
+        assert trace["displayTimeUnit"] == "ms"
+        # Re-parse from the serialized form, as Perfetto would.
+        reparsed = json.loads(json.dumps(trace))
+        assert validate_chrome_trace(reparsed)
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert {"process_name", "thread_name"} <= {e["name"] for e in metadata}
+
+    def test_span_events_carry_causal_links(self):
+        _sim, tracer = _traced_run()
+        events = validate_chrome_trace(to_chrome_trace(tracer))
+        by_name = {e["name"]: e for e in events if e["ph"] == "X"}
+        query, compute = by_name["query"], by_name["cpu.compute"]
+        assert compute["args"]["parent_id"] == query["args"]["span_id"]
+        assert compute["ts"] == 0.0 and compute["dur"] == 5.0
+        # Non-primitive args were stringified, so the event is pure JSON.
+        assert isinstance(query["args"]["plan"], str)
+
+    def test_open_span_is_clipped_to_now(self):
+        sim = Simulator()
+        tracer = install(sim)
+
+        def worker():
+            tracer.span("never.closed", cat="cpu")
+            yield sim.timeout(7)
+
+        sim.run_until_complete(sim.spawn(worker()))
+        events = validate_chrome_trace(to_chrome_trace(tracer))
+        event = next(e for e in events if e["name"] == "never.closed")
+        assert event["dur"] == 7.0
+
+    def test_write_produces_loadable_json(self, tmp_path):
+        _sim, tracer = _traced_run()
+        path = write_chrome_trace(tracer, str(tmp_path / "trace.json"))
+        with open(path) as fh:
+            assert validate_chrome_trace(json.load(fh))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            [],  # not an object
+            {"events": []},  # wrong key
+            {"traceEvents": []},  # empty
+            {"traceEvents": [{"ph": "X", "name": "x"}]},  # missing pid/tid
+            {"traceEvents": [{"ph": "Q", "name": "x", "pid": 1, "tid": 0}]},
+            {
+                "traceEvents": [
+                    {
+                        "ph": "X", "name": "x", "pid": 1, "tid": 0,
+                        "ts": -1, "dur": 1, "cat": "c", "args": {},
+                    }
+                ]
+            },  # negative ts
+        ],
+    )
+    def test_malformed_traces_raise(self, bad):
+        with pytest.raises(ValueError):
+            validate_chrome_trace(bad)
+
+
+class TestCriticalPath:
+    def test_breakdown_sums_to_total(self):
+        _sim, tracer = _traced_run()
+        root = tracer.find("query")[0]
+        breakdown = decompose(tracer, root)
+        assert breakdown["total"] == pytest.approx(18.0)
+        assert breakdown["cpu"] == pytest.approx(5.0)
+        assert breakdown["net"] == pytest.approx(10.0)
+        assert breakdown["blocked"] == pytest.approx(3.0)
+        parts = sum(v for k, v in breakdown.items() if k != "total")
+        assert parts == pytest.approx(breakdown["total"])
+
+    def test_deepest_span_wins(self):
+        sim = Simulator()
+        tracer = install(sim)
+
+        def worker():
+            with tracer.span("io", cat="disk"):
+                yield sim.timeout(4)
+                with tracer.span("copy", cat="cpu"):
+                    yield sim.timeout(6)
+
+        def root():
+            with tracer.span("root", cat="query"):
+                yield sim.spawn(worker())
+
+        sim.run_until_complete(sim.spawn(root()))
+        breakdown = decompose(tracer, tracer.find("root")[0])
+        # The nested cpu span claims its interval from the disk span.
+        assert breakdown["disk"] == pytest.approx(4.0)
+        assert breakdown["cpu"] == pytest.approx(6.0)
+
+    def test_zero_width_root(self):
+        sim = Simulator()
+        tracer = install(sim)
+        with tracer.span("instant", cat="query") as span:
+            pass
+        breakdown = decompose(tracer, span)
+        assert breakdown["total"] == 0.0
+        assert breakdown["blocked"] == 0.0
+
+    def test_format_breakdown_mentions_every_category(self):
+        _sim, tracer = _traced_run()
+        text = format_breakdown(decompose(tracer, tracer.find("query")[0]))
+        assert "cpu" in text and "net" in text and "blocked" in text
+        assert "100.0%" in text

@@ -1,0 +1,160 @@
+"""Span nesting, causality across spawns, and the zero-cost default."""
+
+from repro.sim import Simulator
+from repro.telemetry import NOOP_SPAN, NOOP_TRACER, install
+
+
+class TestNoopDefault:
+    def test_every_simulator_starts_disabled(self):
+        sim = Simulator()
+        assert sim.tracer is NOOP_TRACER
+        assert not sim.tracer.enabled
+
+    def test_noop_span_is_shared_and_inert(self):
+        sim = Simulator()
+        with sim.tracer.span("anything", cat="cpu", detail=1) as span:
+            assert span is NOOP_SPAN
+            assert span.set(more=2) is span
+        # Closing twice, current(), spawn hooks: all harmless no-ops.
+        span.close()
+        assert sim.tracer.current() is None
+
+    def test_install_switches_the_simulator(self):
+        sim = Simulator()
+        tracer = install(sim)
+        assert sim.tracer is tracer
+        assert tracer.enabled
+
+
+class TestNesting:
+    def test_spans_nest_within_one_process(self):
+        sim = Simulator()
+        tracer = install(sim)
+
+        def worker():
+            with tracer.span("outer", cat="cpu"):
+                yield sim.timeout(5)
+                with tracer.span("inner", cat="disk"):
+                    yield sim.timeout(3)
+
+        sim.run_until_complete(sim.spawn(worker()))
+        outer, inner = tracer.find("outer")[0], tracer.find("inner")[0]
+        assert outer.parent_id == 0
+        assert inner.parent_id == outer.sid
+        assert inner.depth == outer.depth + 1
+        assert (outer.start_us, outer.end_us) == (0.0, 8.0)
+        assert (inner.start_us, inner.end_us) == (5.0, 8.0)
+        assert tracer.max_depth() == 1
+
+    def test_sibling_spans_share_a_parent(self):
+        sim = Simulator()
+        tracer = install(sim)
+
+        def worker():
+            with tracer.span("parent"):
+                with tracer.span("first"):
+                    yield sim.timeout(1)
+                with tracer.span("second"):
+                    yield sim.timeout(1)
+
+        sim.run_until_complete(sim.spawn(worker()))
+        parent = tracer.find("parent")[0]
+        assert [s.name for s in tracer.children(parent)] == ["first", "second"]
+
+    def test_exception_annotates_and_closes(self):
+        sim = Simulator()
+        tracer = install(sim)
+
+        def worker():
+            try:
+                with tracer.span("failing"):
+                    yield sim.timeout(1)
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+            return "survived"
+
+        assert sim.run_until_complete(sim.spawn(worker())) == "survived"
+        span = tracer.find("failing")[0]
+        assert span.end_us == 1.0
+        assert span.args["error"] == "RuntimeError"
+
+    def test_out_of_order_close_unwinds_the_stack(self):
+        sim = Simulator()
+        tracer = install(sim)
+
+        def worker():
+            outer = tracer.span("outer")
+            inner = tracer.span("inner")
+            yield sim.timeout(2)
+            outer.close()  # closed under an open child
+            assert tracer.current() is inner
+            inner.close()
+            assert tracer.current() is None
+
+        sim.run_until_complete(sim.spawn(worker()))
+
+
+class TestCausality:
+    def test_spawned_process_inherits_the_open_span(self):
+        sim = Simulator()
+        tracer = install(sim)
+
+        def child():
+            with tracer.span("child.work", cat="net"):
+                yield sim.timeout(4)
+
+        def parent():
+            with tracer.span("parent.fault", cat="fault"):
+                process = sim.spawn(child())
+                yield process
+
+        sim.run_until_complete(sim.spawn(parent()))
+        fault = tracer.find("parent.fault")[0]
+        work = tracer.find("child.work")[0]
+        assert work.parent_id == fault.sid
+        assert tracer.depth_of(work) == 1
+        # Separate processes render as separate tracks.
+        assert work.tid != fault.tid
+
+    def test_interleaved_processes_keep_separate_stacks(self):
+        sim = Simulator()
+        tracer = install(sim)
+
+        def worker(tag, delay):
+            with tracer.span(f"{tag}.outer"):
+                yield sim.timeout(delay)
+                with tracer.span(f"{tag}.inner"):
+                    yield sim.timeout(delay)
+
+        sim.spawn(worker("a", 3))
+        sim.spawn(worker("b", 5))
+        sim.run()
+        for tag in ("a", "b"):
+            outer = tracer.find(f"{tag}.outer")[0]
+            inner = tracer.find(f"{tag}.inner")[0]
+            # Despite interleaving, each inner belongs to its own outer.
+            assert inner.parent_id == outer.sid
+
+    def test_process_state_is_released_on_finish(self):
+        sim = Simulator()
+        tracer = install(sim)
+
+        def worker():
+            with tracer.span("work"):
+                yield sim.timeout(1)
+
+        sim.run_until_complete(sim.spawn(worker()))
+        assert not tracer._stacks
+        assert not tracer._inherited
+        assert not tracer._tids
+
+    def test_global_stack_outside_any_process(self):
+        sim = Simulator()
+        tracer = install(sim)
+        with tracer.span("driver") as outer:
+            assert tracer.current() is outer
+            with tracer.span("setup") as inner:
+                assert inner.parent_id == outer.sid
+                assert inner.tid == 0
+        assert tracer.current() is None
