@@ -1,0 +1,128 @@
+"""Design-parity goldens: the cost model must not drift across refactors.
+
+For every Table-5 design (plus the three-tier spec-only design) this
+runs one small OLTP benchmark (RangeScan with 20 % updates) and one
+analytic benchmark (read-only RangeScan built with ``analytic=True``,
+which exercises the BPExt-disable rule) and compares the resulting
+virtual clock, hit counters and latency aggregates against checked-in
+golden numbers — **bit-identical**, not approximate.  The simulation is
+deterministic by construction, so any difference means a refactor
+changed engine behavior, not just code structure.
+
+Regenerating goldens (only when a *deliberate* cost-model change lands):
+
+    REPRO_UPDATE_GOLDENS=force PYTHONPATH=src \
+        python -m pytest benchmarks/test_design_parity.py -q -o testpaths=
+
+``REPRO_UPDATE_GOLDENS=1`` writes only entries missing from the file
+(used when a new design is added), leaving existing goldens untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.harness import Design, build_database, prewarm_extension
+from repro.harness.dbbench import prewarm_pool
+from repro.workloads import RangeScanConfig, build_customer_table, run_rangescan
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_parity.json")
+
+#: Deliberately small: the point is determinism, not the paper's shape.
+N_ROWS = 24_000
+BP_PAGES = 192
+EXT_PAGES = 1200
+
+PARITY_DESIGNS = [
+    Design.HDD,
+    Design.HDD_SSD,
+    Design.SMB_RAMDRIVE,
+    Design.SMBDIRECT_RAMDRIVE,
+    Design.CUSTOM,
+    Design.LOCAL_MEMORY,
+    Design.THREE_TIER,
+]
+
+WORKLOADS = ("oltp", "analytic")
+
+
+def run_parity_case(design: Design, workload: str) -> dict:
+    """Build a design, run one small RangeScan, return exact observables."""
+    analytic = workload == "analytic"
+    setup = build_database(
+        design,
+        bp_pages=BP_PAGES,
+        bpext_pages=EXT_PAGES,
+        tempdb_pages=1024,
+        data_spindles=8,
+        analytic=analytic,
+        local_memory_bonus_pages=EXT_PAGES if design is Design.LOCAL_MEMORY else 0,
+        seed=11,
+    )
+    db = setup.database
+    table = build_customer_table(db, N_ROWS)
+    prewarm_extension(setup)
+    prewarm_pool(setup)
+    config = RangeScanConfig(
+        n_rows=N_ROWS,
+        workers=16,
+        queries_per_worker=4,
+        update_fraction=0.0 if analytic else 0.2,
+        seed=7,
+    )
+    report = run_rangescan(db, table, config, rng=setup.cluster.rng.stream("parity"))
+    pool = db.pool
+    extension = pool.extension
+    return {
+        "virtual_clock_us": setup.sim.now,
+        "elapsed_us": report.elapsed_us,
+        "latency_sum_us": sum(report.latency.samples),
+        "queries": report.queries,
+        "bp_hits": pool.hits,
+        "bp_misses": pool.misses,
+        "ext_hits": pool.ext_hits,
+        "base_reads": pool.base_reads,
+        "ext_parked": 0 if extension is None else extension.parked_pages,
+    }
+
+
+def _load_goldens() -> dict:
+    if not os.path.exists(GOLDEN_PATH):
+        return {}
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+def _case_key(design: Design, workload: str) -> str:
+    return f"{design.value}/{workload}"
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("design", PARITY_DESIGNS, ids=lambda d: d.value)
+def test_design_parity(design: Design, workload: str):
+    mode = os.environ.get("REPRO_UPDATE_GOLDENS", "")
+    goldens = _load_goldens()
+    key = _case_key(design, workload)
+    observed = run_parity_case(design, workload)
+    if mode == "force" or (mode == "1" and key not in goldens):
+        goldens[key] = observed
+        with open(GOLDEN_PATH, "w") as fh:
+            json.dump(goldens, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return
+    assert key in goldens, (
+        f"no golden for {key}; run with REPRO_UPDATE_GOLDENS=1 to record it"
+    )
+    expected = goldens[key]
+    mismatches = {
+        field: (expected[field], observed.get(field))
+        for field in expected
+        if observed.get(field) != expected[field]
+    }
+    assert not mismatches, (
+        f"{key}: virtual-time results drifted from golden "
+        f"(field: (golden, observed)): {mismatches}"
+    )

@@ -61,7 +61,7 @@ def _build_index(db, setup, orders, medium: str):
                      key_fn=lambda e: e[0], leaf_capacity=40)
         tree.bulk_build(entries)
         # Move the pages into remote memory (untimed steady-state setup).
-        store.preload(list(staging._pages.values()))
+        store.preload([page for _slot, page in staging.iter_pages()])
         tree.pool = pool
         tree.store = store
         pool.register_file(store) if store.file_id not in pool.files else None

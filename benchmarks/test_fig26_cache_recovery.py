@@ -29,9 +29,9 @@ def run_figure26():
         # rows were updated since the checkpoint.
         n_updates = dirty_mb * 1024 * 1024 // ROW_BYTES
         base_rows = [(index, "v0", "x" * 8) for index in range(n_updates)]
-        remote_file = setup.run(setup.remote_fs.create("mv", 64 * 1024 * 1024))
-        setup.run(remote_file.open())
-        store = RemotePageFile(6000, remote_file, capacity_pages=4096)
+        # Placement comes from the design's tier spec (Custom puts the
+        # semantic cache in remote memory).
+        store = setup.run(setup.cache_store(4096, name="mv"))
         view = setup.run(cache.create_view(
             "idx", "t1", base_rows, ROW_BYTES, store,
         ))

@@ -27,6 +27,12 @@ from ..cluster import Server
 from ..reliability import DeadlineExceeded, ReliabilityLayer
 from ..sim import LatencyRecorder, TimeSeries
 from ..sim.kernel import ProcessGenerator
+from typing import TYPE_CHECKING
+
+from ..tiers.tier import Tier
+
+if TYPE_CHECKING:
+    from ..tiers.stack import TierStack
 from .errors import EngineError, PageNotFound
 from .files import PageStore, RemoteMemoryUnavailable
 from .page import Page, PageId
@@ -51,12 +57,23 @@ class Frame:
 
 
 class BufferPoolExtension:
-    """Maps evicted page ids to slots of an extension page store."""
+    """Maps evicted page ids to slots of an extension page store.
 
-    def __init__(self, store: PageStore):
+    One extension is one *tier* of the memory hierarchy: construct it
+    from a :class:`~repro.tiers.Tier` to carry medium/latency metadata
+    (a bare :class:`~repro.engine.PageStore` still works and is wrapped
+    in an anonymous tier).  A :class:`~repro.tiers.TierStack` composes
+    several of these into a DRAM -> SSD -> remote hierarchy.
+    """
+
+    def __init__(self, store: PageStore | Tier):
+        tier = store if isinstance(store, Tier) else None
+        if tier is not None:
+            store = tier.store
         if store.capacity_pages is None:
             raise EngineError("extension store needs a fixed capacity")
         self.store = store
+        self.tier = tier if tier is not None else Tier.wrap(store)
         self.capacity_pages = store.capacity_pages
         self._slots: OrderedDict[PageId, int] = OrderedDict()
         self._free: list[int] = list(range(self.capacity_pages - 1, -1, -1))
@@ -65,6 +82,10 @@ class BufferPoolExtension:
         #: routes around quarantined providers and classifies deadline
         #: expiries as transient instead of data loss.
         self.reliability: ReliabilityLayer | None = None
+        #: Set by a :class:`~repro.tiers.TierStack`: called with
+        #: ``(page_id, slot)`` when a full tier must make room, to move
+        #: the victim one tier down instead of dropping it.
+        self.demote_sink: Callable[[PageId, int], ProcessGenerator] | None = None
         self.hits = 0
         self.misses = 0
         self.failures = 0
@@ -86,6 +107,11 @@ class BufferPoolExtension:
         self.bytes_series = TimeSeries(bucket_us, name="bpext.bytes")
         return self.bytes_series
 
+    @property
+    def parked_pages(self) -> int:
+        """Number of page images currently parked in this extension."""
+        return len(self._slots)
+
     def contains(self, page_id: PageId) -> bool:
         return self.enabled and page_id in self._slots
 
@@ -102,6 +128,10 @@ class BufferPoolExtension:
             slot = self._free.pop()
         else:
             _old_id, slot = self._slots.popitem(last=False)
+            if self.demote_sink is not None:
+                # Hand the victim to the tier below before its slot is
+                # reused (the sink reads the image and re-parks it).
+                yield from self.demote_sink(_old_id, slot)
             self.store.discard(slot)
         layer = self.reliability
         if layer is not None:
@@ -125,7 +155,7 @@ class BufferPoolExtension:
                 self._free.append(slot)
 
         try:
-            with self._sim().tracer.span("bpext.put", slot=slot):
+            with self._sim().tracer.span("bpext.put", slot=slot, tier=self.tier.name):
                 yield from self.store.write_page(
                     page, slot=slot, background=True, on_abort=_write_aborted
                 )
@@ -170,7 +200,7 @@ class BufferPoolExtension:
         self._slots.move_to_end(page_id)
         start = self._now()
         try:
-            with self._sim().tracer.span("bpext.read", slot=slot):
+            with self._sim().tracer.span("bpext.read", slot=slot, tier=self.tier.name):
                 page = yield from self.store.read_page(slot, background=background)
         except DeadlineExceeded:
             # Transient: the remote image is still there, only slow.
@@ -201,13 +231,24 @@ class BufferPoolExtension:
 
     def _slot_provider(self, slot: int) -> str | None:
         """Memory server backing ``slot``, if the store can tell."""
-        resolver = getattr(self.store, "slot_provider", None)
-        if resolver is None:
-            return None
         try:
-            return resolver(slot)
+            return self.store.slot_provider(slot)
         except Exception:
             return None  # e.g. the backing lease is already gone
+
+    def adopt(self, page: Page) -> bool:
+        """Park a clean page image without simulated I/O (pool priming).
+
+        Steady-state benchmarks use this instead of replaying hours of
+        warm-up traffic.  Returns ``False`` when the extension is
+        disabled, full, or already holds the page.
+        """
+        if not self.enabled or page.page_id in self._slots or not self._free:
+            return False
+        slot = self._free.pop()
+        self._slots[page.page_id] = slot
+        self.store.install(page.copy(), slot=slot)
+        return True
 
     def invalidate(self, page_id: PageId) -> None:
         slot = self._slots.pop(page_id, None)
@@ -240,14 +281,13 @@ class BufferPoolExtension:
         of waiting for each page to fail on access.  Returns the page
         ids that were lost (they will re-fault from the base file).
         """
-        slot_provider = getattr(self.store, "slot_provider", None)
         lost: list[PageId] = []
         for page_id, slot in list(self._slots.items()):
-            if (
-                provider is None
-                or slot_provider is None
-                or slot_provider(slot) == provider
-            ):
+            # A store that cannot name a provider loses everything on any
+            # fault sweep (conservative: local media are never swept by
+            # provider-targeted injectors in practice).
+            known = self.store.slot_provider(slot)
+            if provider is None or known is None or known == provider:
                 self.invalidate(page_id)
                 lost.append(page_id)
         self.pages_lost_to_faults += len(lost)
@@ -263,6 +303,7 @@ class BufferPoolExtension:
         if store.capacity_pages is None:
             raise EngineError("extension store needs a fixed capacity")
         self.store = store
+        self.tier.store = store
         self.capacity_pages = store.capacity_pages
         self._slots.clear()
         self._free = list(range(self.capacity_pages - 1, -1, -1))
@@ -280,7 +321,7 @@ class BufferPool:
         self,
         server: Server,
         capacity_pages: int,
-        extension: Optional[BufferPoolExtension] = None,
+        extension: "Optional[BufferPoolExtension | TierStack]" = None,
         lazy_writers: int = 4,
     ):
         if capacity_pages < 2:
@@ -603,6 +644,17 @@ class BufferPool:
             frame.dirty = True
         if self.extension is not None:
             self.extension.invalidate(page.page_id)
+
+    def adopt(self, page: Page) -> bool:
+        """Install a clean frame without I/O or eviction (pool priming).
+
+        The caller bounds how many frames it adopts (the pool does not
+        evict here); returns ``False`` when the page is already resident.
+        """
+        if page.page_id in self._frames:
+            return False
+        self._frames[page.page_id] = Frame(page.copy())
+        return True
 
     def put_page(self, page: Page, dirty: bool = False) -> ProcessGenerator:
         """Install a page image directly (loader / split / priming path).

@@ -57,12 +57,18 @@ class Database:
         tempdb_store: Optional[PageStore] = None,
         workspace_bytes: Optional[int] = None,
         query_setup_cpu_us: float = QUERY_SETUP_CPU_US,
+        extension: Optional[object] = None,
     ):
+        """``extension`` (a pre-built
+        :class:`~repro.engine.BufferPoolExtension` or
+        :class:`~repro.tiers.TierStack`) takes precedence over
+        ``bpext_store``, which remains the single-tier shorthand."""
         self.server = server
         self.sim = server.sim
         self.catalog = Catalog()
         self.data_device = data_device
-        extension = BufferPoolExtension(bpext_store) if bpext_store is not None else None
+        if extension is None and bpext_store is not None:
+            extension = BufferPoolExtension(bpext_store)
         self.pool = BufferPool(server, capacity_pages=bp_pages, extension=extension)
         self.wal = WriteAheadLog(server, log_device if log_device is not None else data_device)
         self.tempdb = TempDb(tempdb_store) if tempdb_store is not None else None
@@ -147,17 +153,17 @@ class Database:
         tree: BTree = table.clustered
         store = tree.store
         # Find leftmost leaf without simulation time.
-        page = store._pages[tree.root_page_no]  # type: ignore[attr-defined]
+        page = store.peek(tree.root_page_no)
         from .page import PageKind
 
         while page.kind is PageKind.BTREE_INTERNAL:
-            page = store._pages[page.meta["children"][0]]  # type: ignore[attr-defined]
+            page = store.peek(page.meta["children"][0])
         while page is not None:
             yield page.rows
             next_no = page.meta.get("next")
             if next_no is None:
                 break
-            page = store._pages[next_no]  # type: ignore[attr-defined]
+            page = store.peek(next_no)
 
     # -- query execution ------------------------------------------------------
 

@@ -21,7 +21,7 @@ end-to-end: what you wrote is what you read back, on every medium.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Optional
+from typing import Callable, Iterator, Optional
 
 from ..cluster import Server
 from ..net.rdma import RdmaError
@@ -78,6 +78,32 @@ class PageStore(abc.ABC):
     @abc.abstractmethod
     def discard(self, slot: int) -> None:
         """Drop the page at ``slot`` without I/O (cache invalidation)."""
+
+    def slot_provider(self, slot: int) -> Optional[str]:
+        """Memory server backing ``slot``, or ``None`` when the medium
+        has no notion of a provider (local devices) — the hook breaker
+        routing and fault targeting key quarantine decisions on."""
+        return None
+
+    def iter_pages(self) -> Iterator[tuple[int, Page]]:
+        """Iterate ``(slot, page)`` over the authoritative images, without
+        simulated I/O (priming / steady-state setup).  Media that cannot
+        enumerate their contents cheaply (remote memory) yield nothing.
+        """
+        return iter(())
+
+    def install(self, page: Page, slot: Optional[int] = None) -> None:
+        """Place a snapshot of ``page`` at ``slot`` without simulated I/O
+        (initial load and steady-state priming; default: ``page_no``)."""
+        raise NotImplementedError(f"{type(self).__name__} cannot install pages untimed")
+
+    def peek(self, slot: int) -> Page:
+        """Untimed access to the stored image at ``slot`` (DDL builds and
+        demotion snapshots; raises :class:`PageNotFound` when absent).
+
+        Returns the internal object — callers must not mutate it.
+        """
+        raise PageNotFound(f"file {self.file_id}: cannot peek slot {slot}")
 
     def write_batch(self, slot: int, pages: list[Page]) -> ProcessGenerator:
         """Write ``pages`` contiguously from ``slot`` (one large I/O where
@@ -190,10 +216,21 @@ class DevicePageFile(PageStore):
     def discard(self, slot: int) -> None:
         self._pages.pop(slot, None)
 
+    def iter_pages(self) -> "Iterator[tuple[int, Page]]":
+        return iter(self._pages.items())
+
+    def install(self, page: Page, slot: Optional[int] = None) -> None:
+        self._pages[page.page_no if slot is None else slot] = page.copy()
+
+    def peek(self, slot: int) -> Page:
+        if slot not in self._pages:
+            raise PageNotFound(f"file {self.file_id}: no page at slot {slot}")
+        return self._pages[slot]
+
     def preload(self, pages: list[Page]) -> None:
         """Populate the disk image without simulated I/O (initial load)."""
         for page in pages:
-            self._pages[page.page_no] = page.copy()
+            self.install(page)
 
     def write_scattered(self, pages: list[Page]) -> ProcessGenerator:
         """Checkpoint-style write of non-contiguous pages.
@@ -326,13 +363,17 @@ class RemotePageFile(PageStore):
         """Memory server backing ``slot`` (fault-targeting hook)."""
         return self.remote_file.provider_of(slot * PAGE_SIZE)
 
+    def install(self, page: Page, slot: Optional[int] = None) -> None:
+        slot = page.page_no if slot is None else slot
+        segments = self.remote_file._locate(slot * PAGE_SIZE, PAGE_SIZE)
+        lease, mr_offset, length = segments[0]
+        lease.region.put_object(mr_offset, length, page.copy())
+        self._present.add(slot)
+
     def preload(self, pages: list[Page]) -> None:
         """Install page images without simulated I/O (steady-state setup)."""
         for page in pages:
-            segments = self.remote_file._locate(page.page_no * PAGE_SIZE, PAGE_SIZE)
-            lease, mr_offset, length = segments[0]
-            lease.region.put_object(mr_offset, length, page.copy())
-            self._present.add(page.page_no)
+            self.install(page)
 
 
 class SmbPageFile(PageStore):
@@ -398,7 +439,18 @@ class SmbPageFile(PageStore):
     def discard(self, slot: int) -> None:
         self._pages.pop(slot, None)
 
+    def iter_pages(self) -> "Iterator[tuple[int, Page]]":
+        return iter(self._pages.items())
+
+    def install(self, page: Page, slot: Optional[int] = None) -> None:
+        self._pages[page.page_no if slot is None else slot] = page.copy()
+
+    def peek(self, slot: int) -> Page:
+        if slot not in self._pages:
+            raise PageNotFound(f"smb file {self.file_id}: no page at slot {slot}")
+        return self._pages[slot]
+
     def preload(self, pages: list[Page]) -> None:
         """Install page images without simulated I/O (steady-state setup)."""
         for page in pages:
-            self._pages[page.page_no] = page.copy()
+            self.install(page)

@@ -1,9 +1,15 @@
-"""Build a full engine instance for one Table-5 design alternative.
+"""Build a full engine instance from a declarative tier spec.
 
 ``build_database`` assembles the cluster (DB server + memory servers),
-the storage devices, the remote-memory machinery for the designs that
+the storage devices, the remote-memory machinery for the plans that
 need it, and a :class:`~repro.engine.Database` wired to the right media
 for BPExt and TempDB.  Workload modules then load tables into it.
+
+The builder never branches on design names: a :class:`~repro.harness.Design`
+is looked up in :data:`~repro.harness.TIER_SPECS` and the resulting
+:class:`~repro.tiers.TierPlan` is walked mechanically — pass a
+:class:`~repro.tiers.TierSpec` directly to build a topology that has no
+enum entry at all.
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ from typing import Optional
 
 from ..broker import MemoryBroker, MemoryProxy
 from ..cluster import Cluster, Server
-from ..engine import Database, DevicePageFile, RemotePageFile, SmbPageFile
+from ..engine import Database, DevicePageFile, PageStore, RemotePageFile, SmbPageFile
 from ..engine.page import PAGE_SIZE
 from ..net import Network, SmbClient, SmbDirectClient, SmbFileServer
 from ..reliability import ReliabilityLayer, ReliabilityPolicy
@@ -26,7 +32,8 @@ from ..telemetry.attach import (
     register_reliability,
     register_remote_file,
 )
-from .designs import Design, DESIGNS
+from ..tiers import Tier, TierPlan, TierSpec, build_stack
+from .designs import Design, TIER_SPECS
 
 __all__ = [
     "DbSetup",
@@ -36,16 +43,22 @@ __all__ = [
     "rebuild_extension",
 ]
 
-#: File ids reserved for engine-internal files.
+#: File ids reserved for engine-internal files.  Extension tiers are
+#: spaced ten apart so multi-tier stacks never collide with TempDB.
 BPEXT_FILE_ID = 900
 TEMPDB_FILE_ID = 901
+SEMCACHE_FILE_ID = 950
+
+
+def _ext_file_id(index: int) -> int:
+    return BPEXT_FILE_ID + 10 * index
 
 
 @dataclass
 class DbSetup:
     """Everything a benchmark needs to drive one configuration."""
 
-    design: Design
+    design: Optional[Design]
     cluster: Cluster
     db_server: Server
     database: Database
@@ -53,14 +66,18 @@ class DbSetup:
     broker: Optional[MemoryBroker] = None
     remote_fs: Optional[RemoteMemoryFilesystem] = None
     network: Optional[Network] = None
-    #: Memory-brokering proxies by server name (Custom design only).
+    #: Memory-brokering proxies by server name (NDSPI plans only).
     proxies: dict[str, MemoryProxy] = field(default_factory=dict)
-    #: Reliability policy layer (Custom design, opt-in): deadlines,
+    #: Reliability policy layer (NDSPI plans, opt-in): deadlines,
     #: retries, circuit breakers, hedged reads, admission control.
     reliability: Optional[ReliabilityLayer] = None
     #: Every instrument in the setup (devices, NICs, CPUs, buffer pool,
     #: remote files, reliability) adopted into one registry.
     metrics: Optional[MetricsRegistry] = None
+    #: The declarative topology this setup was built from, and the
+    #: resolved plan (concrete capacities, analytic rule applied).
+    spec: Optional[TierSpec] = None
+    plan: Optional[TierPlan] = None
 
     @property
     def sim(self):
@@ -69,9 +86,32 @@ class DbSetup:
     def run(self, generator):
         return self.sim.run_until_complete(self.sim.spawn(generator))
 
+    def cache_store(self, capacity_pages: int, name: str = "semcache"):
+        """``yield from``-able: a page store on the spec's semcache medium.
+
+        Benchmarks that build semantic-cache indexes (Section 3.3) route
+        their store placement through the spec instead of hand-picking a
+        medium per design.
+        """
+        medium = self.plan.semcache if self.plan is not None else "ssd"
+        if medium == "remote":
+            if self.remote_fs is None:
+                raise ValueError("spec places the semantic cache remotely "
+                                 "but the setup has no remote filesystem")
+            spread = len(self.memory_servers) > 1
+            file = yield from self.remote_fs.create(
+                name, capacity_pages * PAGE_SIZE, spread=spread
+            )
+            yield from file.open()
+            return RemotePageFile(SEMCACHE_FILE_ID, file, capacity_pages=capacity_pages)
+        device = self.db_server.devices[medium]
+        return DevicePageFile(
+            SEMCACHE_FILE_ID, self.db_server, device, capacity_pages=capacity_pages
+        )
+
 
 def build_database(
-    design: Design,
+    design: Design | TierSpec,
     bp_pages: int,
     bpext_pages: int = 0,
     tempdb_pages: int = 4096,
@@ -84,18 +124,29 @@ def build_database(
     db_cores: int = 20,
     reliability: ReliabilityPolicy | bool | None = None,
 ) -> DbSetup:
-    """Assemble one design alternative.
+    """Assemble one design alternative from its tier spec.
 
+    ``design`` is a Table-5 :class:`~repro.harness.Design` (resolved via
+    :data:`~repro.harness.TIER_SPECS`) or a bare
+    :class:`~repro.tiers.TierSpec` for ad-hoc topologies.
     ``analytic=True`` applies the paper's rule of disabling BPExt for
-    sequential workloads on the HDD/HDD+SSD baselines (Section 5.3).
-    ``local_memory_bonus_pages`` grows the pool for the *Local Memory*
-    design by the amount other designs get as remote memory.
-    ``reliability`` (Custom design only) threads a
-    :class:`~repro.reliability.ReliabilityLayer` through the remote
-    path: pass ``True`` for the default policy or a
+    sequential workloads on the HDD/HDD+SSD baselines (Section 5.3) —
+    the rule itself lives in :meth:`~repro.tiers.TierSpec.resolve`.
+    ``local_memory_bonus_pages`` grows the pool for specs with
+    ``pool_absorbs_extension`` (*Local Memory*) by the amount other
+    designs get as remote memory.  ``reliability`` (NDSPI plans only)
+    threads a :class:`~repro.reliability.ReliabilityLayer` through the
+    remote path: pass ``True`` for the default policy or a
     :class:`~repro.reliability.ReliabilityPolicy` to tune it.
     """
-    config = DESIGNS[design]
+    if isinstance(design, TierSpec):
+        spec, design_key = design, None
+    else:
+        spec, design_key = TIER_SPECS[design], design
+    plan = spec.resolve(
+        analytic=analytic, bpext_pages=bpext_pages, tempdb_pages=tempdb_pages
+    )
+
     cluster = Cluster(seed=seed)
     sim = cluster.sim
     network = Network(sim)
@@ -105,33 +156,37 @@ def build_database(
         "hdd", Raid0Array(sim, spindles=data_spindles, rng=cluster.rng.stream("hdd"))
     )
     ssd = db_server.attach_device("ssd", SsdDevice(sim))
+    local_media = {"hdd": hdd, "ssd": ssd}
 
     setup = DbSetup(
-        design=design, cluster=cluster, db_server=db_server,
+        design=design_key, cluster=cluster, db_server=db_server,
         database=None, network=network,  # type: ignore[arg-type]
+        spec=spec, plan=plan,
     )
 
-    bpext_enabled = config.bpext is not None and bpext_pages > 0
-    if analytic and not config.bpext_for_analytics:
-        bpext_enabled = False
+    def local_ext_store(index: int, tier) -> DevicePageFile:
+        return DevicePageFile(
+            _ext_file_id(index), db_server, local_media[tier.medium],
+            capacity_pages=tier.capacity_pages,
+        )
 
-    bpext_store = None
-    tempdb_store = None
-
-    if design in (Design.HDD, Design.LOCAL_MEMORY) or config.protocol is None:
-        # Purely local designs.
-        if bpext_enabled and config.bpext == "ssd":
-            bpext_store = DevicePageFile(
-                BPEXT_FILE_ID, db_server, ssd, capacity_pages=bpext_pages
-            )
-        tempdb_device = ssd if config.tempdb == "ssd" else hdd
-        tempdb_store = DevicePageFile(
-            TEMPDB_FILE_ID, db_server, tempdb_device,
+    def local_tempdb_store() -> DevicePageFile:
+        return DevicePageFile(
+            TEMPDB_FILE_ID, db_server, local_media[plan.tempdb.medium],
             capacity_pages=tempdb_pages, base_offset=512 * GB,
             chunk_pages=None,  # TempDB is preallocated contiguously
         )
+
+    ext_stores: list[Optional[PageStore]] = []
+    tempdb_store: Optional[PageStore] = None
+
+    if not plan.needs_remote:
+        # Purely local plans: every tier maps onto an attached device.
+        for index, tier in enumerate(plan.extension):
+            ext_stores.append(local_ext_store(index, tier))
+        tempdb_store = local_tempdb_store()
     else:
-        # Remote-memory designs need memory servers.
+        # Remote placements need memory servers.
         remote_bytes_needed = (bpext_pages + tempdb_pages) * PAGE_SIZE + 64 * MB
         per_server = remote_bytes_needed // n_memory_servers + 32 * MB
         for index in range(n_memory_servers):
@@ -141,23 +196,30 @@ def build_database(
             network.attach(server)
             setup.memory_servers.append(server)
 
-        if config.protocol in ("smb", "smbdirect"):
+        if plan.protocol in ("smb", "smbdirect"):
             mem = setup.memory_servers[0]
             drive = mem.attach_device("ramdrive", RamDrive(sim, name=f"{mem.name}.ramdrive"))
             file_server = SmbFileServer(mem, drive)
-            client_cls = SmbClient if config.protocol == "smb" else SmbDirectClient
-            if bpext_enabled:
-                bpext_store = SmbPageFile(
-                    BPEXT_FILE_ID, db_server, client_cls(db_server, file_server),
-                    capacity_pages=bpext_pages,
+            client_cls = SmbClient if plan.protocol == "smb" else SmbDirectClient
+            for index, tier in enumerate(plan.extension):
+                if tier.medium == "remote":
+                    ext_stores.append(SmbPageFile(
+                        _ext_file_id(index), db_server,
+                        client_cls(db_server, file_server),
+                        capacity_pages=tier.capacity_pages,
+                    ))
+                else:
+                    ext_stores.append(local_ext_store(index, tier))
+            if plan.tempdb.medium == "remote":
+                tempdb_store = SmbPageFile(
+                    TEMPDB_FILE_ID, db_server, client_cls(db_server, file_server),
+                    capacity_pages=tempdb_pages,
                 )
-            tempdb_store = SmbPageFile(
-                TEMPDB_FILE_ID, db_server, client_cls(db_server, file_server),
-                capacity_pages=tempdb_pages,
-            )
-        else:  # ndspi / Custom
+            else:
+                tempdb_store = local_tempdb_store()
+        else:  # ndspi
             broker = MemoryBroker(sim)
-            policy = AccessPolicy.SYNC if config.sync_remote_io else AccessPolicy.ASYNC
+            policy = AccessPolicy.SYNC if plan.sync_remote_io else AccessPolicy.ASYNC
             layer = None
             if reliability:
                 reliability_policy = (
@@ -176,41 +238,62 @@ def build_database(
             setup.broker = broker
             setup.remote_fs = fs
 
+            # Local tiers of a mixed stack attach directly; remote tiers
+            # are placeholders until the bootstrap opens their files.
+            for index, tier in enumerate(plan.extension):
+                ext_stores.append(
+                    None if tier.medium == "remote" else local_ext_store(index, tier)
+                )
+
             def bootstrap():
                 yield from fs.initialize()
                 for server in setup.memory_servers:
                     proxy = MemoryProxy(server, broker, mr_bytes=64 * MB)
                     setup.proxies[server.name] = proxy
                     yield from proxy.offer_available(limit_bytes=per_server + 128 * MB)
-                stores = {}
                 spread = n_memory_servers > 1
-                if bpext_enabled:
+                for index, tier in enumerate(plan.extension):
+                    if tier.medium != "remote":
+                        continue
                     file = yield from fs.create(
-                        "bpext", bpext_pages * PAGE_SIZE, spread=spread
+                        tier.name, tier.capacity_pages * PAGE_SIZE, spread=spread
                     )
                     yield from file.open()
-                    stores["bpext"] = RemotePageFile(BPEXT_FILE_ID, file, capacity_pages=bpext_pages)
-                file = yield from fs.create(
-                    "tempdb", tempdb_pages * PAGE_SIZE, spread=spread
-                )
-                yield from file.open()
-                stores["tempdb"] = RemotePageFile(TEMPDB_FILE_ID, file, capacity_pages=tempdb_pages)
-                return stores
+                    ext_stores[index] = RemotePageFile(
+                        _ext_file_id(index), file, capacity_pages=tier.capacity_pages
+                    )
+                if plan.tempdb.medium == "remote":
+                    file = yield from fs.create(
+                        "tempdb", tempdb_pages * PAGE_SIZE, spread=spread
+                    )
+                    yield from file.open()
+                    return RemotePageFile(
+                        TEMPDB_FILE_ID, file, capacity_pages=tempdb_pages
+                    )
+                return None
 
-            stores = setup.run(bootstrap())
-            bpext_store = stores.get("bpext")
-            tempdb_store = stores["tempdb"]
+            tempdb_store = setup.run(bootstrap())
+            if tempdb_store is None:
+                tempdb_store = local_tempdb_store()
+
+    extension = build_stack(
+        Tier(
+            name=tier.name, store=store, medium=tier.medium,
+            latency_class=tier.latency_class, promote_on_hit=tier.promote_on_hit,
+        )
+        for tier, store in zip(plan.extension, ext_stores)
+    )
 
     total_bp_pages = bp_pages
-    if design is Design.LOCAL_MEMORY:
+    if spec.pool_absorbs_extension:
         total_bp_pages += local_memory_bonus_pages
 
     database = Database(
         db_server,
         bp_pages=total_bp_pages,
         data_device=hdd,
-        log_device=hdd,
-        bpext_store=bpext_store,
+        log_device=local_media[plan.wal.medium],
+        extension=extension,
         tempdb_store=tempdb_store,
         workspace_bytes=workspace_bytes,
     )
@@ -218,7 +301,8 @@ def build_database(
         database.pool.attach_reliability(setup.reliability)
     setup.database = database
 
-    registry = MetricsRegistry(f"dbbench.{design.name.lower()}")
+    label = design_key.name.lower() if design_key is not None else spec.name.lower()
+    registry = MetricsRegistry(f"dbbench.{label}")
     register_cluster(registry, cluster)
     register_pool(registry, "bp", database.pool)
     if setup.remote_fs is not None:
@@ -245,27 +329,12 @@ def prewarm_extension(setup: DbSetup, max_pages: Optional[int] = None) -> int:
     budget = extension.capacity_pages if max_pages is None else min(
         extension.capacity_pages, max_pages
     )
-    from ..engine.files import DevicePageFile, RemotePageFile, SmbPageFile
-    from ..engine.page import PAGE_SIZE
-
-    ext_store = extension.store
     for store in pool.files.values():
-        pages = getattr(store, "_pages", None)
-        if pages is None:
-            continue
-        for page_no, page in pages.items():
-            if installed >= budget or not extension._free:
+        for _slot, page in store.iter_pages():
+            if installed >= budget:
                 return installed
-            slot = extension._free.pop()
-            extension._slots[(store.file_id, page_no)] = slot
-            snapshot = page.copy()  # keeps the original page_id
-            if isinstance(ext_store, RemotePageFile):
-                segments = ext_store.remote_file._locate(slot * PAGE_SIZE, PAGE_SIZE)
-                lease, mr_offset, length = segments[0]
-                lease.region.put_object(mr_offset, length, snapshot)
-                ext_store._present.add(slot)
-            else:  # DevicePageFile / SmbPageFile keep a slot-keyed dict
-                ext_store._pages[slot] = snapshot
+            if not extension.adopt(page):
+                return installed  # extension full
             installed += 1
     return installed
 
@@ -279,21 +348,13 @@ def prewarm_pool(setup: DbSetup, max_pages: Optional[int] = None) -> int:
     """
     pool = setup.database.pool
     budget = pool.capacity_pages if max_pages is None else min(pool.capacity_pages, max_pages)
-    from ..engine.bufferpool import Frame
-
     installed = 0
     for store in pool.files.values():
-        pages = getattr(store, "_pages", None)
-        if pages is None:
-            continue
-        for _page_no, page in pages.items():
+        for _slot, page in store.iter_pages():
             if installed >= budget - 1:
                 return installed
-            page_id = page.page_id
-            if page_id in pool._frames:
-                continue
-            pool._frames[page_id] = Frame(page.copy())
-            installed += 1
+            if pool.adopt(page):
+                installed += 1
     return installed
 
 
@@ -309,19 +370,25 @@ def rebuild_extension(setup: DbSetup, name: Optional[str] = None):
     """
     extension = setup.database.pool.extension
     if extension is None or setup.remote_fs is None:
-        raise ValueError("rebuild_extension needs a Custom-design setup")
-    old_store = extension.store
-    if not isinstance(old_store, RemotePageFile):
-        raise ValueError("the extension store is not remote-memory backed")
+        raise ValueError("rebuild_extension needs an NDSPI-plan setup")
+    # A TierStack rebuilds its remote level; a single extension is its
+    # own level.
+    levels = getattr(extension, "levels", None)
+    level = extension if levels is None else next(
+        (lv for lv in levels if isinstance(lv.store, RemotePageFile)), None
+    )
+    if level is None or not isinstance(level.store, RemotePageFile):
+        raise ValueError("the extension has no remote-memory tier")
+    old_store = level.store
     old_file = old_store.remote_file
     file_name = name if name is not None else f"{old_file.name}.r{len(setup.remote_fs.files)}"
-    pages = extension.capacity_pages
+    pages = level.capacity_pages
     spread = len(setup.memory_servers) > 1
     new_file = yield from setup.remote_fs.create(
         file_name, pages * PAGE_SIZE, spread=spread
     )
     yield from new_file.open()
     new_store = RemotePageFile(old_store.file_id, new_file, capacity_pages=pages)
-    extension.replace_store(new_store)
+    level.replace_store(new_store)
     yield from setup.remote_fs.delete(old_file)
     return new_store

@@ -22,7 +22,9 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-__all__ = ["Design", "DesignConfig", "DESIGNS", "REMOTE_DESIGNS"]
+from ..tiers import TierDef, TierSpec, spec_for
+
+__all__ = ["Design", "DesignConfig", "DESIGNS", "REMOTE_DESIGNS", "TIER_SPECS"]
 
 
 class Design(enum.Enum):
@@ -32,6 +34,9 @@ class Design(enum.Enum):
     SMBDIRECT_RAMDRIVE = "SMBDirect+RamDrive"
     CUSTOM = "Custom"
     LOCAL_MEMORY = "Local Memory"
+    #: Section-8 future work: DRAM pool over an SSD tier over remote
+    #: memory.  Not a Table-5 row — it exists purely as a TierSpec.
+    THREE_TIER = "ThreeTier"
 
 
 @dataclass(frozen=True)
@@ -78,3 +83,30 @@ DESIGNS: dict[Design, DesignConfig] = {
 
 #: Designs that place TempDB/BPExt in remote memory.
 REMOTE_DESIGNS = (Design.SMB_RAMDRIVE, Design.SMBDIRECT_RAMDRIVE, Design.CUSTOM)
+
+#: Every design compiled to the declarative tier grammar.  The Table-5
+#: rows compile mechanically from their :class:`DesignConfig`; the
+#: builder consumes only these specs, never the configs.
+TIER_SPECS: dict[Design, TierSpec] = {
+    design: spec_for(
+        config, pool_absorbs_extension=design is Design.LOCAL_MEMORY
+    )
+    for design, config in DESIGNS.items()
+}
+
+#: The three-tier hierarchy is data, not a code path: a hot SSD tier
+#: absorbs pool evictions, overflow demotes to a larger remote tier,
+#: and remote hits promote back up.  TempDB rides the remote memory.
+TIER_SPECS[Design.THREE_TIER] = TierSpec(
+    name="ThreeTier",
+    extension=(
+        TierDef(medium="ssd", share=1.0),
+        TierDef(medium="remote", share=2.0, promote_on_hit=True),
+    ),
+    tempdb="remote",
+    wal="hdd",
+    semcache="remote",
+    protocol="ndspi",
+    sync_remote_io=True,
+    extension_for_analytics=True,
+)

@@ -22,6 +22,7 @@ __all__ = [
     "register_cpu",
     "register_pool",
     "register_extension",
+    "register_tier",
     "register_remote_file",
     "register_reliability",
     "register_server",
@@ -68,11 +69,35 @@ def register_pool(registry: MetricsRegistry, prefix: str, pool: Any) -> None:
 
 
 def register_extension(registry: MetricsRegistry, prefix: str, ext: Any) -> None:
+    """Adopt a single extension *or* a tier stack.
+
+    Aggregate names stay identical either way (benchmarks read
+    ``bp.ext.hits`` regardless of topology); a stack additionally
+    exposes each level under ``{prefix}.tier.<name>.*`` plus its
+    demotion/promotion counters.
+    """
     registry.register(f"{prefix}.read_latency", ext.read_latency)
     for attr in ("hits", "misses", "failures", "transient_failures", "quarantine_skips"):
         _gauge_attr(registry, f"{prefix}.{attr}", ext, attr)
     if getattr(ext, "bytes_series", None) is not None:
         registry.register(f"{prefix}.bytes", ext.bytes_series)
+    levels = getattr(ext, "levels", None)
+    if levels:
+        _gauge_attr(registry, f"{prefix}.demotions", ext, "demotions")
+        _gauge_attr(registry, f"{prefix}.promotions", ext, "promotions")
+        for level in levels:
+            register_tier(registry, f"{prefix}.tier.{level.tier.name}", level)
+
+
+def register_tier(registry: MetricsRegistry, prefix: str, level: Any) -> None:
+    """One level of a tier stack: per-tier accounting and occupancy."""
+    registry.register(f"{prefix}.read_latency", level.read_latency)
+    for attr in (
+        "hits", "misses", "failures", "transient_failures",
+        "quarantine_skips", "pages_lost_to_faults",
+        "parked_pages", "capacity_pages",
+    ):
+        _gauge_attr(registry, f"{prefix}.{attr}", level, attr)
 
 
 def register_remote_file(registry: MetricsRegistry, prefix: str, file: Any) -> None:

@@ -1,0 +1,210 @@
+"""TierStack: the extension hierarchy below the DRAM buffer pool.
+
+Owns placement (new evictees land in the fastest tier), demotion (a
+full tier pushes its coldest page down instead of dropping it) and
+promotion (a hit at a slow tier can pull the page up), while each
+level keeps its own eviction order, hit accounting and failure
+handling — a level *is* a
+:class:`~repro.engine.bufferpool.BufferPoolExtension` bound to one
+:class:`~repro.tiers.Tier`.
+
+The stack mirrors the single-extension interface exactly, so
+:class:`~repro.engine.BufferPool` consumes either without branching:
+hedged reads, quarantine routing, fault sweeps and priming all work
+per tier.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from ..sim import LatencyRecorder, TimeSeries
+from ..sim.kernel import ProcessGenerator
+from .tier import Tier
+
+__all__ = ["TierStack", "build_stack"]
+
+
+class TierStack:
+    """Ordered (fast -> slow) composition of extension levels."""
+
+    def __init__(self, levels: list):
+        if not levels:
+            raise ValueError("a TierStack needs at least one level")
+        self.levels = list(levels)
+        for index, level in enumerate(self.levels):
+            if level.tier is None:
+                level.tier = Tier.wrap(level.store, name=f"bpext.{index}")
+            below = self.levels[index + 1] if index + 1 < len(self.levels) else None
+            if below is not None:
+                level.demote_sink = self._demote_sink(level, below)
+            # Failure events bubble to stack-level listeners (recovery
+            # monitors subscribe once, whatever the topology).
+            level.fault_listeners.append(self._on_level_fault)
+        #: Stack-level observers (mirrors BufferPoolExtension's hook).
+        self.fault_listeners: list[Callable[[Any], None]] = []
+        #: Per-read latency across all tiers (hedge-delay input).
+        self.read_latency = LatencyRecorder("bpext.read")
+        #: Pages moved down because a tier overflowed.
+        self.demotions = 0
+        #: Pages pulled up after a hit at a slower tier.
+        self.promotions = 0
+
+    # -- composition helpers -------------------------------------------------
+
+    def _demote_sink(self, level, below):
+        def demote(page_id, slot) -> ProcessGenerator:
+            # Best-effort: read the victim image (timed — demotion costs
+            # a real read) and park it one tier down.  Any failure just
+            # loses the cached copy; the base file stays authoritative.
+            try:
+                page = yield from level.store.read_page(slot, background=True)
+            except Exception:
+                return
+            self.demotions += 1
+            yield from below.put(page)
+
+        return demote
+
+    def _on_level_fault(self, page_id) -> None:
+        for listener in self.fault_listeners:
+            listener(page_id)
+
+    def _sim(self):
+        return self.levels[0]._sim()
+
+    @property
+    def tiers(self) -> list[Tier]:
+        return [level.tier for level in self.levels]
+
+    def level_for(self, medium: str):
+        """First level on ``medium`` (e.g. the remote level to rebuild)."""
+        for level in self.levels:
+            if level.tier.medium == medium:
+                return level
+        return None
+
+    # -- BufferPoolExtension-compatible surface ------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return any(level.enabled for level in self.levels)
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        for level in self.levels:
+            level.enabled = value
+
+    @property
+    def reliability(self):
+        return self.levels[0].reliability
+
+    @reliability.setter
+    def reliability(self, layer) -> None:
+        for level in self.levels:
+            level.reliability = layer
+
+    @property
+    def capacity_pages(self) -> int:
+        return sum(level.capacity_pages for level in self.levels)
+
+    @property
+    def parked_pages(self) -> int:
+        return sum(level.parked_pages for level in self.levels)
+
+    def _total(self, attr: str) -> int:
+        return sum(getattr(level, attr) for level in self.levels)
+
+    hits = property(lambda self: self._total("hits"))
+    misses = property(lambda self: self._total("misses"))
+    failures = property(lambda self: self._total("failures"))
+    transient_failures = property(lambda self: self._total("transient_failures"))
+    quarantine_skips = property(lambda self: self._total("quarantine_skips"))
+    pages_lost_to_faults = property(lambda self: self._total("pages_lost_to_faults"))
+
+    @property
+    def bytes_series(self) -> Optional[TimeSeries]:
+        return self.levels[0].bytes_series
+
+    def track_throughput(self, bucket_us: float = 1e6) -> TimeSeries:
+        """One shared bytes-moved series across every tier."""
+        series = TimeSeries(bucket_us, name="bpext.bytes")
+        for level in self.levels:
+            level.bytes_series = series
+        return series
+
+    def contains(self, page_id) -> bool:
+        return any(level.contains(page_id) for level in self.levels)
+
+    def get(self, page_id, background: bool = False) -> ProcessGenerator:
+        """Fetch from the fastest tier holding the page; promote if asked.
+
+        Raises :class:`~repro.engine.PageNotFound` when no tier serves
+        it (absent, quarantined, or lost mid-read) — the pool then falls
+        back to the base file, exactly as with a single extension.
+        """
+        from ..engine.errors import PageNotFound
+
+        sim = self._sim()
+        for index, level in enumerate(self.levels):
+            if not level.contains(page_id):
+                continue
+            start = sim.now
+            try:
+                page = yield from level.get(page_id, background=background)
+            except PageNotFound:
+                continue  # quarantined or lost: try a slower tier
+            self.read_latency.record(sim.now - start)
+            if index > 0 and level.tier.promote_on_hit:
+                level.invalidate(page_id)
+                self.promotions += 1
+                yield from self.levels[index - 1].put(page)
+            return page
+        raise PageNotFound(f"tier stack: {page_id} not present at any tier")
+
+    def put(self, page) -> ProcessGenerator:
+        """Park a clean evictee in the fastest tier (demotion cascades).
+
+        If a slower tier already holds the page its image is current
+        (updates invalidate every level), so re-parking it up top would
+        only double-cache the page and churn the demotion path.
+        """
+        for level in self.levels[1:]:
+            if level.contains(page.page_id):
+                return
+        yield from self.levels[0].put(page)
+
+    def adopt(self, page) -> bool:
+        """Untimed priming: fill tiers in order, fastest first."""
+        return any(level.adopt(page) for level in self.levels)
+
+    def invalidate(self, page_id) -> None:
+        for level in self.levels:
+            level.invalidate(page_id)
+
+    def on_fault(self, provider: Optional[str] = None) -> list:
+        lost: list = []
+        for level in self.levels:
+            lost.extend(level.on_fault(provider))
+        return lost
+
+    def clear(self) -> None:
+        for level in self.levels:
+            level.clear()
+
+
+def build_stack(tiers: Iterable[Tier]):
+    """Extension for a resolved plan: one level per tier.
+
+    Returns ``None`` (no tiers), a single
+    :class:`~repro.engine.bufferpool.BufferPoolExtension` (the Table-5
+    shape — byte-for-byte the classic path), or a :class:`TierStack`.
+    """
+    from ..engine.bufferpool import BufferPoolExtension
+
+    levels = [BufferPoolExtension(tier) for tier in tiers]
+    if not levels:
+        return None
+    if len(levels) == 1:
+        return levels[0]
+    return TierStack(levels)

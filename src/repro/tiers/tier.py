@@ -1,0 +1,74 @@
+"""One level of the memory hierarchy: a page store plus placement metadata.
+
+A :class:`Tier` does not add behavior to the store it wraps — it names
+the level, classifies its latency, and carries the placement knobs the
+:class:`~repro.tiers.TierStack` consults (promotion policy, budget
+share).  The buffer-pool extension, reliability routing and telemetry
+all read tier identity from here instead of duck-typing the store.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["Tier", "LATENCY_CLASSES", "latency_class_for"]
+
+#: Medium/protocol -> latency class (coarse ordering, fast to slow).
+LATENCY_CLASSES = {
+    "dram": "dram",
+    "ndspi": "rdma",
+    "smbdirect": "rdma",
+    "smb": "lan",
+    "remote": "rdma",
+    "ssd": "ssd",
+    "hdd": "hdd",
+}
+
+
+def latency_class_for(medium: str, protocol: Optional[str] = None) -> str:
+    """Latency class for a tier: the protocol refines a remote medium."""
+    if medium == "remote" and protocol is not None:
+        return LATENCY_CLASSES.get(protocol, "rdma")
+    return LATENCY_CLASSES.get(medium, "unknown")
+
+
+class Tier:
+    """A :class:`~repro.engine.PageStore` with hierarchy metadata."""
+
+    def __init__(
+        self,
+        name: str,
+        store: Any,
+        medium: str = "unknown",
+        latency_class: Optional[str] = None,
+        promote_on_hit: bool = False,
+    ):
+        self.name = name
+        self.store = store
+        self.medium = medium
+        self.latency_class = (
+            latency_class if latency_class is not None else latency_class_for(medium)
+        )
+        #: Pages hit at this tier are promoted into the tier above it.
+        self.promote_on_hit = promote_on_hit
+
+    @property
+    def capacity_pages(self) -> Optional[int]:
+        return self.store.capacity_pages
+
+    def slot_provider(self, slot: int) -> Optional[str]:
+        """Provider backing ``slot`` (quarantine routing, fault targeting)."""
+        return self.store.slot_provider(slot)
+
+    @classmethod
+    def wrap(cls, store: Any, name: str = "bpext") -> "Tier":
+        """Metadata-only wrapper for a bare store (legacy constructors)."""
+        kind = type(store).__name__
+        medium = {"RemotePageFile": "remote", "SmbPageFile": "remote"}.get(kind, "local")
+        return cls(name, store, medium=medium)
+
+    def __repr__(self) -> str:
+        return (
+            f"Tier({self.name!r}, medium={self.medium!r}, "
+            f"latency={self.latency_class!r}, capacity={self.capacity_pages})"
+        )

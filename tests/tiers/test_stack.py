@@ -1,0 +1,185 @@
+"""TierStack semantics: placement, demotion, promotion, aggregation."""
+
+import pytest
+
+from repro.engine.bufferpool import BufferPoolExtension
+from repro.engine.errors import PageNotFound
+from repro.engine.files import DevicePageFile
+from repro.tiers import Tier, TierStack, build_stack
+from tests.tiers.conftest import make_page, make_stack
+
+
+class TestBuildStack:
+    def test_no_tiers_means_no_extension(self):
+        assert build_stack([]) is None
+
+    def test_single_tier_is_a_plain_extension(self, rig):
+        store = DevicePageFile(900, rig.db, rig.ssd, capacity_pages=4)
+        ext = build_stack([Tier("bpext", store, medium="ssd")])
+        assert isinstance(ext, BufferPoolExtension)
+        assert not isinstance(ext, TierStack)
+        assert ext.tier.name == "bpext"
+
+    def test_two_tiers_compose_a_stack(self, rig):
+        stack = make_stack(rig)
+        assert isinstance(stack, TierStack)
+        assert [tier.name for tier in stack.tiers] == ["bpext.ssd", "bpext.hdd"]
+        # Every level except the last has a demotion path.
+        assert stack.levels[0].demote_sink is not None
+        assert stack.levels[1].demote_sink is None
+
+
+class TestPlacement:
+    def test_put_lands_in_the_fastest_tier(self, rig):
+        stack = make_stack(rig)
+        rig.run(stack.put(make_page(0)))
+        assert stack.levels[0].contains((1, 0))
+        assert not stack.levels[1].contains((1, 0))
+
+    def test_overflow_demotes_the_coldest_page(self, rig):
+        stack = make_stack(rig, cap_hot=2)
+        for n in range(3):
+            rig.run(stack.put(make_page(n)))
+        assert stack.demotions == 1
+        # Page 0 was evicted from the hot tier into the cold tier, not
+        # dropped; the two newest pages stay hot.
+        assert stack.levels[1].contains((1, 0))
+        assert stack.levels[0].contains((1, 1))
+        assert stack.levels[0].contains((1, 2))
+        assert stack.contains((1, 0))
+
+    def test_put_skips_pages_a_lower_tier_already_holds(self, rig):
+        stack = make_stack(rig, cap_hot=2)
+        for n in range(3):
+            rig.run(stack.put(make_page(n)))  # page 0 demoted below
+        parked_hot = stack.levels[0].parked_pages
+        rig.run(stack.put(make_page(0)))  # re-evicted from the pool
+        # The cold copy is current (updates invalidate every level), so
+        # re-parking it up top would double-cache and churn demotions.
+        assert stack.levels[0].parked_pages == parked_hot
+        assert not stack.levels[0].contains((1, 0))
+        assert stack.demotions == 1
+
+    def test_adopt_fills_fastest_first(self, rig):
+        stack = make_stack(rig, cap_hot=2, cap_cold=2)
+        assert all(stack.adopt(make_page(n)) for n in range(4))
+        assert stack.levels[0].parked_pages == 2
+        assert stack.levels[1].parked_pages == 2
+        assert stack.adopt(make_page(4)) is False  # every tier full
+
+
+class TestFetch:
+    def test_get_from_any_tier_counts_one_stack_hit(self, rig):
+        stack = make_stack(rig, cap_hot=2)
+        for n in range(3):
+            rig.run(stack.put(make_page(n)))
+        assert rig.run(stack.get((1, 2))).page_no == 2  # hot tier
+        assert rig.run(stack.get((1, 0))).page_no == 0  # cold tier
+        assert stack.hits == 2
+        assert stack.levels[0].hits == 1
+        assert stack.levels[1].hits == 1
+        assert len(stack.read_latency) == 2
+
+    def test_absent_page_raises(self, rig):
+        stack = make_stack(rig)
+        with pytest.raises(PageNotFound):
+            rig.run(stack.get((1, 99)))
+
+    def test_cold_hit_promotes_when_asked(self, rig):
+        stack = make_stack(rig, cap_hot=2, promote=True)
+        for n in range(3):
+            rig.run(stack.put(make_page(n)))  # page 0 demoted below
+        page = rig.run(stack.get((1, 0)))
+        assert page.page_no == 0
+        assert stack.promotions == 1
+        assert stack.levels[0].contains((1, 0))
+        assert not stack.levels[1].contains((1, 0))
+        # The hot tier was full: the promotion demoted another victim.
+        assert stack.demotions == 2
+
+    def test_cold_hit_stays_put_by_default(self, rig):
+        stack = make_stack(rig, cap_hot=2, promote=False)
+        for n in range(3):
+            rig.run(stack.put(make_page(n)))
+        rig.run(stack.get((1, 0)))
+        assert stack.promotions == 0
+        assert stack.levels[1].contains((1, 0))
+
+
+class TestExtensionSurface:
+    """The stack mirrors BufferPoolExtension, so the pool never branches."""
+
+    def test_aggregates_sum_over_levels(self, rig):
+        stack = make_stack(rig, cap_hot=2, cap_cold=8)
+        for n in range(3):
+            rig.run(stack.put(make_page(n)))
+        assert stack.capacity_pages == 10
+        assert stack.parked_pages == 3
+        rig.run(stack.get((1, 1)))
+        rig.run(stack.get((1, 0)))
+        with pytest.raises(PageNotFound):
+            rig.run(stack.get((1, 9)))
+        assert stack.hits == sum(level.hits for level in stack.levels) == 2
+        assert stack.misses == sum(level.misses for level in stack.levels)
+
+    def test_invalidate_clears_every_level(self, rig):
+        stack = make_stack(rig, cap_hot=2)
+        for n in range(3):
+            rig.run(stack.put(make_page(n)))
+        stack.invalidate((1, 0))  # parked cold
+        stack.invalidate((1, 2))  # parked hot
+        assert not stack.contains((1, 0))
+        assert not stack.contains((1, 2))
+        assert stack.parked_pages == 1
+
+    def test_enabled_toggles_every_level(self, rig):
+        stack = make_stack(rig)
+        rig.run(stack.put(make_page(0)))
+        stack.enabled = False
+        assert not stack.enabled
+        assert not stack.contains((1, 0))
+        stack.enabled = True
+        assert stack.contains((1, 0))
+
+    def test_clear_empties_the_hierarchy(self, rig):
+        stack = make_stack(rig, cap_hot=2)
+        for n in range(3):
+            rig.run(stack.put(make_page(n)))
+        stack.clear()
+        assert stack.parked_pages == 0
+
+    def test_on_fault_sweeps_every_level(self, rig):
+        # Device stores name no provider, so a provider-targeted sweep
+        # conservatively invalidates both tiers.
+        stack = make_stack(rig, cap_hot=2)
+        for n in range(3):
+            rig.run(stack.put(make_page(n)))
+        lost = stack.on_fault(provider="mem0")
+        assert len(lost) == 3
+        assert stack.pages_lost_to_faults == 3
+        assert stack.parked_pages == 0
+
+    def test_level_failures_reach_stack_listeners(self, rig):
+        stack = make_stack(rig)
+        seen = []
+        stack.fault_listeners.append(seen.append)
+        rig.run(stack.put(make_page(0)))
+        level = stack.levels[0]
+        level._on_failure((1, 0), level._slots[(1, 0)])
+        assert seen == [(1, 0)]
+        assert stack.failures == 1
+
+    def test_shared_bytes_series(self, rig):
+        stack = make_stack(rig)
+        series = stack.track_throughput()
+        assert all(level.bytes_series is series for level in stack.levels)
+        assert stack.bytes_series is series
+        rig.run(stack.put(make_page(0)))
+        rig.run(stack.get((1, 0)))
+        assert sum(series.buckets.values()) == 2 * 8192
+
+    def test_level_for_finds_the_medium(self, rig):
+        stack = make_stack(rig)
+        assert stack.level_for("hdd") is stack.levels[1]
+        assert stack.level_for("ssd") is stack.levels[0]
+        assert stack.level_for("remote") is None
