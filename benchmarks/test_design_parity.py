@@ -78,6 +78,7 @@ def run_parity_case(design: Design, workload: str) -> dict:
     extension = pool.extension
     return {
         "virtual_clock_us": setup.sim.now,
+        "events_processed": setup.sim.events_processed,
         "elapsed_us": report.elapsed_us,
         "latency_sum_us": sum(report.latency.samples),
         "queries": report.queries,

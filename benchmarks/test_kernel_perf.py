@@ -1,0 +1,177 @@
+"""Kernel throughput on the Figure 18/19 TPC-H workload.
+
+Unlike the per-figure benchmarks (which assert the *paper's* shapes in
+virtual time), this one measures the simulator itself: wall-clock and
+events/sec for the measured TPC-H streams under the Custom design.  The
+results — and the trajectory of past kernel overhauls — live in
+``BENCH_kernel.json`` at the repo root, and CI's ``kernel-perf`` job
+fails when events/sec drops more than ``TOLERANCE`` below the committed
+baseline.
+
+Wall-clock numbers are machine-dependent, so the baseline also stores a
+*calibration score*: iterations/sec of a fixed pure-Python workload
+(arithmetic + heap churn, the event loop's staple operations).  The
+regression gate scales the committed events/sec by the ratio of the two
+calibration scores before comparing, which makes the 20 % tolerance
+meaningful on runners of different speeds.
+
+Regenerate the baseline after a deliberate kernel change::
+
+    REPRO_UPDATE_BENCH=1 REPRO_BENCH_LABEL="my-change" \
+        PYTHONPATH=src python -m pytest benchmarks/test_kernel_perf.py -o testpaths=
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.harness import Design, build_database, prewarm_extension
+from repro.workloads import TPCH_QUERIES, build_tpch_database, run_query_streams
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+#: Same configuration as benchmarks/test_fig18_19_tpch.py at 20 spindles.
+BP, EXT, TDB = 256, 2600, 49152
+#: Allowed events/sec shortfall vs the (calibration-scaled) baseline.
+TOLERANCE = 0.20
+
+UPDATE = os.environ.get("REPRO_UPDATE_BENCH", "") == "1"
+LABEL = os.environ.get("REPRO_BENCH_LABEL", "updated")
+
+
+def _calibration_score(repeats: int = 3) -> float:
+    """Machine-speed score in arbitrary units (higher = faster)."""
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        acc = 0
+        for _ in range(100):
+            heap = [((i * 7919) % 1024, i) for i in range(2000)]
+            heapq.heapify(heap)
+            while heap:
+                when, seq = heapq.heappop(heap)
+                acc ^= when + seq
+        elapsed = time.perf_counter() - start
+        best = max(best, 1.0 / elapsed)
+    return best
+
+
+def run_event_churn(workers: int = 8, iterations: int = 30_000) -> dict:
+    """Pure event-loop throughput on the kernel's staple event mix.
+
+    Every kernel generation retires the *same* event stream here (the
+    workload never touches the engine), so events/sec is directly
+    comparable across overhauls — unlike the macro TPC-H number, where
+    a kernel that eliminates scheduler round-trips also shrinks its own
+    numerator.  The mix mirrors what the database workloads generate:
+    timers, same-instant completions (grants, store handoffs), deadline
+    races whose losing timer is abandoned, and a contended resource.
+    """
+    from repro.sim.kernel import Simulator
+
+    sim = Simulator()
+    gate = sim.resource(capacity=2, name="churn.gate")
+
+    def worker(seed: int):
+        state = seed
+        for _ in range(iterations):
+            state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+            yield sim.timeout(float(state % 97) / 7.0)
+            # Same-instant completion: exercises the now-queue.
+            event = sim.event()
+            event.succeed()
+            yield event
+            # Deadline race: the losing timer is abandoned, exercising
+            # lazy cancellation (and full dispatch on older kernels).
+            yield sim.any_of([sim.timeout(1.0), sim.timeout(2.0)])
+            request = gate.request()
+            yield request
+            yield sim.timeout(1.0)
+            gate.release()
+
+    for i in range(workers):
+        sim.spawn(worker(i * 2654435761 + 1), name=f"churn-{i}")
+    start = time.perf_counter()
+    sim.run()
+    wall_s = time.perf_counter() - start
+    return {
+        "wall_s": round(wall_s, 2),
+        "events_processed": sim.events_processed,
+        "events_per_sec": round(sim.events_processed / wall_s),
+    }
+
+
+def run_kernel_benchmark() -> dict:
+    """Run the fig18/19 measured streams; return the perf record."""
+    setup = build_database(
+        Design.CUSTOM, bp_pages=BP, bpext_pages=EXT, tempdb_pages=TDB,
+        data_spindles=20, analytic=True,
+    )
+    db = setup.database
+    tables = build_tpch_database(db)
+    prewarm_extension(setup)
+    run_query_streams(db, tables, TPCH_QUERIES, streams=1, seed=9)  # warm
+    sim = setup.sim
+    events_before = sim.events_processed
+    start = time.perf_counter()
+    report = run_query_streams(db, tables, TPCH_QUERIES, streams=5, seed=1)
+    wall_s = time.perf_counter() - start
+    events = sim.events_processed - events_before
+    return {
+        "wall_s": round(wall_s, 2),
+        "events_processed": events,
+        "events_per_sec": round(events / wall_s),
+        "queries_per_hour": round(report.queries_per_hour, 2),
+        "calibration_score": round(_calibration_score(), 2),
+    }
+
+
+def _measure() -> dict:
+    macro = run_kernel_benchmark()
+    calibration = macro.pop("calibration_score")
+    return {"macro": macro, "micro": run_event_churn(), "calibration_score": calibration}
+
+
+def _refresh_baseline(measurement: dict) -> None:
+    recorded = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {
+        "macro_workload": "fig18/19 TPC-H, Custom design, 20 spindles, 5 measured streams",
+        "micro_workload": "event churn: 8 workers x 60k iterations, timers + contended gate",
+        "tolerance": TOLERANCE,
+        "trajectory": [],
+    }
+    entry = {"label": LABEL, **measurement}
+    recorded["baseline"] = entry
+    recorded["trajectory"] = [
+        e for e in recorded.get("trajectory", []) if e.get("label") != LABEL
+    ] + [entry]
+    BENCH_PATH.write_text(json.dumps(recorded, indent=2) + "\n")
+
+
+def test_kernel_perf():
+    measurement = _measure()
+    print(f"\nkernel-perf: {json.dumps(measurement)}")
+    if UPDATE or not BENCH_PATH.exists():
+        _refresh_baseline(measurement)
+        return
+    baseline = json.loads(BENCH_PATH.read_text())["baseline"]
+    scale = measurement["calibration_score"] / baseline["calibration_score"]
+    for kind in ("macro", "micro"):
+        measured, recorded = measurement[kind], baseline[kind]
+        # Both workloads are deterministic, so the event count is exact
+        # — a mismatch means the kernel (or workload) changed and the
+        # baseline needs a deliberate REPRO_UPDATE_BENCH=1 refresh.
+        assert measured["events_processed"] == recorded["events_processed"], (
+            f"{kind} event count changed: {measured['events_processed']} vs "
+            f"baseline {recorded['events_processed']} — if intentional, "
+            f"refresh with REPRO_UPDATE_BENCH=1"
+        )
+        floor = recorded["events_per_sec"] * scale * (1.0 - TOLERANCE)
+        assert measured["events_per_sec"] >= floor, (
+            f"{kind} events/sec regression: measured "
+            f"{measured['events_per_sec']}, floor {floor:.0f} (baseline "
+            f"{recorded['events_per_sec']} x machine-speed ratio "
+            f"{scale:.2f} x tolerance {1 - TOLERANCE})"
+        )

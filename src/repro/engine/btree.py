@@ -154,13 +154,16 @@ class BTree:
         """Point lookup: all rows with exactly ``key`` (across leaves)."""
         leaf = yield from self._descend(key)
         result: list[tuple] = []
+        key_fn = self.key_fn
         while leaf is not None:
+            # Leaf rows are kept in key order, so bisect to the first
+            # candidate instead of scanning the leaf from the left.
+            rows = leaf.rows
             exhausted = False
-            for row in leaf.rows:
-                row_key = self.key_fn(row)
-                if row_key == key:
+            for row in rows[bisect.bisect_left(rows, key, key=key_fn):]:
+                if key_fn(row) == key:
                     result.append(row)
-                elif row_key > key:
+                else:
                     exhausted = True
                     break
             if exhausted:

@@ -21,12 +21,13 @@ Faithfully modelled details:
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 from ..cluster import Server
 from ..reliability import DeadlineExceeded, ReliabilityLayer
 from ..sim import LatencyRecorder, TimeSeries
 from ..sim.kernel import ProcessGenerator
+from ..telemetry.tracer import NOOP_SPAN as _NOOP_SPAN
 from typing import TYPE_CHECKING
 
 from ..tiers.tier import Tier
@@ -154,13 +155,19 @@ class BufferPoolExtension:
                 del self._slots[page_id]
                 self._free.append(slot)
 
+        sim = self._sim()
         try:
-            with self._sim().tracer.span("bpext.put", slot=slot, tier=self.tier.name):
+            if sim.tracer.enabled:
+                with sim.tracer.span("bpext.put", slot=slot, tier=self.tier.name):
+                    yield from self.store.write_page(
+                        page, slot=slot, background=True, on_abort=_write_aborted
+                    )
+            else:
                 yield from self.store.write_page(
                     page, slot=slot, background=True, on_abort=_write_aborted
                 )
             if self.bytes_series is not None:
-                self.bytes_series.add(self._now(), 8192)
+                self.bytes_series.add(sim.now, 8192)
         except DeadlineExceeded:
             # The write may not have completed: the slot's remote bytes
             # are unknown, so never map it — but the *slot* is reusable.
@@ -198,9 +205,13 @@ class BufferPoolExtension:
         # Touch the LRU position first so a concurrent put is unlikely
         # to evict the slot we are about to read.
         self._slots.move_to_end(page_id)
-        start = self._now()
+        sim = self._sim()
+        start = sim.now
         try:
-            with self._sim().tracer.span("bpext.read", slot=slot, tier=self.tier.name):
+            if sim.tracer.enabled:
+                with sim.tracer.span("bpext.read", slot=slot, tier=self.tier.name):
+                    page = yield from self.store.read_page(slot, background=background)
+            else:
                 page = yield from self.store.read_page(slot, background=background)
         except DeadlineExceeded:
             # Transient: the remote image is still there, only slow.
@@ -212,9 +223,9 @@ class BufferPoolExtension:
             self._on_failure(page_id, slot)
             self.misses += 1
             raise PageNotFound(f"extension: {page_id} lost with remote memory")
-        self.read_latency.record(self._now() - start)
+        self.read_latency.record(sim.now - start)
         if self.bytes_series is not None:
-            self.bytes_series.add(self._now(), 8192)
+            self.bytes_series.add(sim.now, 8192)
         self._slots.move_to_end(page_id)
         self.hits += 1
         return page
@@ -417,10 +428,11 @@ class BufferPool:
             self._inflight[page_id] = done
         start = self.server.sim.now
         layer = self.reliability
-        span = self.server.sim.tracer.span(
+        tracer = self.server.sim.tracer
+        span = tracer.span(
             "bp.fault", cat="fault",
             page=f"{page_id[0]}:{page_id[1]}", background=background,
-        )
+        ) if tracer.enabled else _NOOP_SPAN
         try:
             page = None
             if self.extension is not None and self.extension.contains(page_id):
@@ -486,7 +498,11 @@ class BufferPool:
             value = yield primary  # nothing to hedge with: sit it out
             return value, "ext" if value is not None else None
         layer.hedge.issued += 1
-        hedge_span = sim.tracer.span("bp.hedge", delay_us=delay)
+        hedge_span = (
+            sim.tracer.span("bp.hedge", delay_us=delay)
+            if sim.tracer.enabled
+            else _NOOP_SPAN
+        )
         backup = sim.spawn(
             absorb(store.read_page(page_id[1], background=True)),
             name="bp.hedge.backup",
@@ -516,7 +532,7 @@ class BufferPool:
         finally:
             hedge_span.close()
 
-    def prefetch(self, file_id: int, page_nos: list[int]) -> None:
+    def prefetch(self, file_id: int, page_nos: Iterable[int]) -> None:
         """Issue background read-ahead for ``page_nos`` (scan path).
 
         Pages already resident or in flight are skipped; missing pages
@@ -551,20 +567,26 @@ class BufferPool:
         store = self.files.get(file_id)
         if store is None:
             return
+        # This runs once per scanned leaf over a full read-ahead window
+        # (the window slides by one page per leaf, so nearly every probe
+        # is a repeat): keep the filter loop tight.
+        budget = PREFETCH_CONCURRENCY - self._prefetch_active
+        if budget <= 0:
+            return
+        frames = self._frames
+        inflight = self._inflight
+        pending = self._pending_writes
+        contains = store.contains
         wanted: list[int] = []
         for page_no in page_nos:
-            if self._prefetch_active + len(wanted) >= PREFETCH_CONCURRENCY:
-                break
             page_id = (file_id, page_no)
-            if (
-                page_id in self._frames
-                or page_id in self._inflight
-                or page_id in self._pending_writes
-            ):
+            if page_id in frames or page_id in inflight or page_id in pending:
                 continue
-            if not store.contains(page_no):
+            if not contains(page_no):
                 continue
             wanted.append(page_no)
+            if len(wanted) >= budget:
+                break
         if not wanted:
             return
         # Split into extension-resident pages (fetched individually —

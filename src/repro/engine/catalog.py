@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any, Callable, Optional
 
 from .errors import EngineError
@@ -39,8 +40,13 @@ class Schema:
                 return position
         raise EngineError(f"no column {name!r}")
 
-    @property
+    @cached_property
     def key_index(self) -> int:
+        # Cached: key extraction runs once per row on every B-tree
+        # probe, and the column scan in index_of would dominate it.
+        # (cached_property writes the instance __dict__ directly, which
+        # is fine on a frozen dataclass — the value is derived, not a
+        # field, so equality and hashing are unaffected.)
         return self.index_of(self.key)
 
     def key_of(self, row: tuple) -> Any:

@@ -79,15 +79,20 @@ def _traced_run(run):
     descendants, which is what the critical-path drill-down walks.
     """
 
-    def wrapper(self, ctx: ExecContext) -> ProcessGenerator:
-        tracer = ctx.db.sim.tracer
-        if not tracer.enabled:
-            return (yield from run(self, ctx))
-        with tracer.span(type(self).__name__, cat="operator") as span:
+    def spanned(self, ctx: ExecContext) -> ProcessGenerator:
+        with ctx.db.sim.tracer.span(type(self).__name__, cat="operator") as span:
             rows = yield from run(self, ctx)
             if hasattr(rows, "__len__"):
                 span.set(rows_out=len(rows))
         return rows
+
+    def wrapper(self, ctx: ExecContext) -> ProcessGenerator:
+        # Plain function, not a generator: under the no-op tracer the
+        # caller drives the operator's own generator directly, without
+        # an extra delegating frame per execution.
+        if not ctx.db.sim.tracer.enabled:
+            return run(self, ctx)
+        return spanned(self, ctx)
 
     wrapper._traced = True
     wrapper.__wrapped__ = run
@@ -145,7 +150,7 @@ class TableScan(Operator):
             # read-ahead so the scan streams at device bandwidth.
             pool.prefetch(
                 tree.store.file_id,
-                list(range(leaf.page_no + 1, leaf.page_no + 1 + self.READAHEAD_PAGES)),
+                range(leaf.page_no + 1, leaf.page_no + 1 + self.READAHEAD_PAGES),
             )
             yield from ctx.cpu.compute(
                 PER_PAGE_CPU_US

@@ -193,15 +193,27 @@ class NicPort:
         brown-out drains at healthy speed once the link restores.
         """
         sim = self.network.sim
+        if engine.try_acquire():
+            # Idle engine: granted inline, no scheduler round-trip.
+            try:
+                if not sim.tracer.enabled:
+                    yield sim.timeout(timing())
+                else:
+                    with sim.tracer.span("nic.xmit", cat="net", engine=engine.name):
+                        yield sim.timeout(timing())
+            finally:
+                engine.release()
+            return
         request = engine.request()
         try:
-            if request.triggered:
+            if not sim.tracer.enabled:
                 yield request
+                yield sim.timeout(timing())
             else:
                 with sim.tracer.span("nic.queue", cat="queue", engine=engine.name):
                     yield request
-            with sim.tracer.span("nic.xmit", cat="net", engine=engine.name):
-                yield sim.timeout(timing())
+                with sim.tracer.span("nic.xmit", cat="net", engine=engine.name):
+                    yield sim.timeout(timing())
         finally:
             engine.cancel(request)
 
@@ -213,26 +225,36 @@ class NicPort:
         self._check_alive(dst)
         sim = self.network.sim
         start = sim.now
-        with sim.tracer.span(
-            "nic.transfer", cat="net", src=self.server.name, dst=dst.server.name, size=size
-        ):
-            yield from self._engine(self.tx, lambda: self._engine_time(size))
-            yield sim.timeout(self.network.propagation_us + self.profile.processing_us)
-            self._check_alive(dst)
-            yield from self._engine(dst.rx, lambda: dst._engine_time(size))
+        if sim.tracer.enabled:
+            with sim.tracer.span(
+                "nic.transfer", cat="net", src=self.server.name, dst=dst.server.name, size=size
+            ):
+                yield from self._pipeline(dst, size, sim)
+        else:
+            yield from self._pipeline(dst, size, sim)
         self.bytes_sent += size
         self.messages_sent += 1
         dst.bytes_received += size
         return sim.now - start
 
+    def _pipeline(self, dst: "NicPort", size: int, sim) -> ProcessGenerator:
+        yield from self._engine(self.tx, lambda: self._engine_time(size))
+        yield sim.timeout(self.network.propagation_us + self.profile.processing_us)
+        self._check_alive(dst)
+        yield from self._engine(dst.rx, lambda: dst._engine_time(size))
+
     def send_control(self, dst: "NicPort") -> ProcessGenerator:
         """A small control message (request packet, ack, doorbell)."""
         self._check_alive(dst)
         sim = self.network.sim
-        with sim.tracer.span("nic.control", cat="net", dst=dst.server.name):
-            yield sim.timeout(
-                self.profile.per_message_us * self.latency_multiplier
-                + self.network.propagation_us
-                + self.profile.processing_us
-            )
+        delay = (
+            self.profile.per_message_us * self.latency_multiplier
+            + self.network.propagation_us
+            + self.profile.processing_us
+        )
+        if sim.tracer.enabled:
+            with sim.tracer.span("nic.control", cat="net", dst=dst.server.name):
+                yield sim.timeout(delay)
+        else:
+            yield sim.timeout(delay)
         self.messages_sent += 1

@@ -192,14 +192,11 @@ class QueuePair:
         sim = self.initiator.sim
         src: NicPort = self.initiator.nic
         dst: NicPort = self.target.nic
-        with sim.tracer.span("rdma.read", provider=self.target.name, size=size):
-            # Post the read work request and send it to the target NIC.
-            yield sim.timeout(POST_CPU_US)
-            yield from src.send_control(dst)
-            # Target NIC DMAs the data and streams it back — no target CPU.
-            yield from dst.transfer(src, size)
-            # Completion-queue entry processed at the initiator.
-            yield sim.timeout(POST_CPU_US)
+        if sim.tracer.enabled:
+            with sim.tracer.span("rdma.read", provider=self.target.name, size=size):
+                yield from self._read_path(sim, src, dst, size)
+        else:
+            yield from self._read_path(sim, src, dst, size)
         self.reads += 1
         if nodata:
             return None
@@ -226,12 +223,11 @@ class QueuePair:
         sim = self.initiator.sim
         src: NicPort = self.initiator.nic
         dst: NicPort = self.target.nic
-        with sim.tracer.span("rdma.write", provider=self.target.name, size=length):
-            yield sim.timeout(POST_CPU_US)
-            yield from src.transfer(dst, length)
-            # Hardware ack from the target NIC.
-            yield from dst.send_control(src)
-            yield sim.timeout(POST_CPU_US)
+        if sim.tracer.enabled:
+            with sim.tracer.span("rdma.write", provider=self.target.name, size=length):
+                yield from self._write_path(sim, src, dst, length)
+        else:
+            yield from self._write_path(sim, src, dst, length)
         if not nodata:
             if payload is not None:
                 region.write_bytes(offset, payload)
@@ -239,3 +235,19 @@ class QueuePair:
                 region.put_object(offset, length, obj)
         self.writes += 1
         return length
+
+    def _read_path(self, sim, src: NicPort, dst: NicPort, size: int) -> ProcessGenerator:
+        # Post the read work request and send it to the target NIC.
+        yield sim.timeout(POST_CPU_US)
+        yield from src.send_control(dst)
+        # Target NIC DMAs the data and streams it back — no target CPU.
+        yield from dst.transfer(src, size)
+        # Completion-queue entry processed at the initiator.
+        yield sim.timeout(POST_CPU_US)
+
+    def _write_path(self, sim, src: NicPort, dst: NicPort, length: int) -> ProcessGenerator:
+        yield sim.timeout(POST_CPU_US)
+        yield from src.transfer(dst, length)
+        # Hardware ack from the target NIC.
+        yield from dst.send_control(src)
+        yield sim.timeout(POST_CPU_US)

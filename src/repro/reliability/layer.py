@@ -90,8 +90,9 @@ class ReliabilityLayer:
         if deadline_us is None:
             return (yield from generator)
         process = self.sim.spawn(_capture(generator), name=name or f"{self.name}.deadline")
+        timer = self.sim.timeout(deadline_us)
         try:
-            index, outcome = yield self.sim.any_of([process, self.sim.timeout(deadline_us)])
+            index, outcome = yield self.sim.any_of([process, timer])
         finally:
             # Covers both the budget expiring (index == 1) and *us*
             # being interrupted while racing it (a hedged backup won,
@@ -101,6 +102,12 @@ class ReliabilityLayer:
             # and NIC engine grant.  No-op when it already finished.
             if process.is_alive:
                 process.interrupt(cause=f"{name or family} deadline ({deadline_us:g}us)")
+            # Tombstone the losing timer so an early completion does not
+            # leave a dead entry ticking in the scheduler heap.  (AnyOf
+            # already auto-cancels orphaned losing timeouts; this keeps
+            # the invariant explicit and covers the interrupted-yield
+            # path, where the race never observed either child.)
+            timer.cancel()
         if index == 1:
             self.note_deadline(family)
             raise DeadlineExceeded(

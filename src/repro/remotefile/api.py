@@ -36,6 +36,7 @@ from ..net.fabric import NetworkDown
 from ..net.rdma import RdmaError
 from ..reliability import DeadlineExceeded, ReliabilityLayer
 from ..sim import Cpu, Interrupt, LatencyRecorder
+from ..telemetry.tracer import NOOP_SPAN as _NOOP_SPAN
 from ..sim.kernel import Event, ProcessGenerator
 from .staging import StagingPool
 
@@ -377,7 +378,18 @@ class RemoteFile:
                     f"{self.name}: provider {provider} is quarantined (circuit open)"
                 )
             try:
-                with sim.tracer.span("rfile.attempt", provider=provider, attempt=attempt):
+                if sim.tracer.enabled:
+                    with sim.tracer.span("rfile.attempt", provider=provider, attempt=attempt):
+                        value = yield from layer.with_deadline(
+                            self._transfer_read_once(
+                                lease, mr_offset, length, opaque, nodata=nodata,
+                                background=background,
+                            ),
+                            layer.policy.read_deadline_us,
+                            family="read",
+                            name=f"{self.name}.read@{provider}",
+                        )
+                else:
                     value = yield from layer.with_deadline(
                         self._transfer_read_once(
                             lease, mr_offset, length, opaque, nodata=nodata,
@@ -428,7 +440,12 @@ class RemoteFile:
             ticket = yield from self.reliability.admission.enter(lease.provider)
         slots = None
         transfer = None
-        span = sim.tracer.span("rfile.read", provider=lease.provider, size=length)
+        tracer = sim.tracer
+        span = (
+            tracer.span("rfile.read", provider=lease.provider, size=length)
+            if tracer.enabled
+            else _NOOP_SPAN
+        )
         try:
             slots = yield from self.staging.acquire(length)
             transfer = sim.spawn(
@@ -537,7 +554,12 @@ class RemoteFile:
         slots = None
         released = False
         transfer = None
-        span = sim.tracer.span("rfile.write", provider=lease.provider, size=length)
+        tracer = sim.tracer
+        span = (
+            tracer.span("rfile.write", provider=lease.provider, size=length)
+            if tracer.enabled
+            else _NOOP_SPAN
+        )
         try:
             slots = yield from self.staging.acquire(length)
             # Copy the page into the staging MR first; the source buffer

@@ -73,9 +73,11 @@ class StagingPool:
         if not self._initialized:
             raise RuntimeError("staging pool used before initialize()")
         slots = self.slots_for(size)
+        if self.slots.try_acquire(slots):
+            return slots  # free slots: granted inline, no scheduler round-trip
         request = self.slots.request(slots)
         try:
-            if request.triggered:
+            if not self.server.sim.tracer.enabled:
                 yield request
             else:
                 # Slot-pool backpressure: make the wait visible as queueing.

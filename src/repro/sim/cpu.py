@@ -15,7 +15,7 @@ options the paper contrasts:
 
 from __future__ import annotations
 
-from .kernel import Event, ProcessGenerator, Resource, Simulator
+from .kernel import Event, ProcessGenerator, Resource, Simulator, Timeout
 from .stats import TimeSeries
 
 __all__ = ["Cpu"]
@@ -69,7 +69,18 @@ class Cpu:
             remaining -= chunk
 
     def utilization(self, since: float = 0.0) -> float:
+        """Mean core utilization since ``since`` (see Resource.utilization).
+
+        Windowed queries (``since > 0``) are exact only for times
+        snapshotted with :meth:`mark_utilization` — the busy-area
+        integral starts at core creation, so an unanchored window would
+        overestimate.
+        """
         return self.cores.utilization(since)
+
+    def mark_utilization(self) -> float:
+        """Snapshot busy-area now; returns the time to pass as ``since``."""
+        return self.cores.mark_utilization()
 
     # -- execution primitives -------------------------------------------
 
@@ -81,9 +92,11 @@ class Cpu:
         leave its request behind — the eventual grant would go to a dead
         process and leak the core forever.
         """
+        if self.cores.try_acquire():
+            return  # free core: granted inline, no scheduler round-trip
         request = self.cores.request()
         try:
-            if request.triggered:
+            if not self.sim.tracer.enabled:
                 yield request
             else:
                 # Only an actual wait gets a span — an immediate grant
@@ -95,17 +108,42 @@ class Cpu:
             raise
 
     def compute(self, duration_us: float) -> ProcessGenerator:
-        """Occupy one core for ``duration_us`` of pure computation."""
+        """Occupy one core for ``duration_us`` of pure computation.
+
+        This is the kernel's hottest instrumentation site (one call per
+        modelled CPU slice), so ``acquire_core`` is inlined and the
+        span machinery is bypassed entirely under the no-op tracer.
+        """
         if duration_us <= 0:
             return
-        yield from self.acquire_core()
-        start = self.sim.now
+        sim = self.sim
+        cores = self.cores
+        tracer = sim.tracer
+        if not cores.try_acquire():
+            request = cores.request()
+            try:
+                if not tracer.enabled:
+                    yield request
+                else:
+                    # Only an actual wait gets a span — an immediate
+                    # grant would just litter the trace with
+                    # zero-width events.
+                    with tracer.span("cpu.runq", cat="queue"):
+                        yield request
+            except BaseException:
+                cores.cancel(request)
+                raise
+        start = sim.now
         try:
-            with self.sim.tracer.span("cpu.compute", cat="cpu"):
-                yield self.sim.timeout(duration_us)
+            if tracer.enabled:
+                with tracer.span("cpu.compute", cat="cpu"):
+                    yield Timeout(sim, duration_us)
+            else:
+                yield Timeout(sim, duration_us)
         finally:
-            self._record_busy(start, self.sim.now - start)
-            self.cores.release()
+            if self.busy_series is not None:
+                self._record_busy(start, sim.now - start)
+            cores.release()
 
     def sync_wait(self, event: Event) -> ProcessGenerator:
         """Spin on a core until ``event`` fires (no context switch).
@@ -115,12 +153,16 @@ class Cpu:
         the trade-off in Section 4.1.3.
         """
         yield from self.acquire_core()
-        start = self.sim.now
+        sim = self.sim
+        start = sim.now
         try:
-            with self.sim.tracer.span("cpu.spin", cat="cpu"):
+            if sim.tracer.enabled:
+                with sim.tracer.span("cpu.spin", cat="cpu"):
+                    yield event
+            else:
                 yield event
         finally:
-            self._record_busy(start, self.sim.now - start)
+            self._record_busy(start, sim.now - start)
             self.cores.release()
         return event.value
 
@@ -128,17 +170,25 @@ class Cpu:
         """Yield the core, wait for ``event``, pay the switch-in penalty."""
         yield event
         self.context_switches += 1
-        with self.sim.tracer.span("cpu.switchin", cat="cpu"):
-            yield self.sim.timeout(self.reschedule_delay_us)
-            # Switch-in consumes a slice of CPU (and may queue behind others).
-            yield from self.acquire_core()
-            start = self.sim.now
-            try:
-                yield self.sim.timeout(self.context_switch_us)
-            finally:
-                self._record_busy(start, self.sim.now - start)
-                self.cores.release()
+        sim = self.sim
+        if sim.tracer.enabled:
+            with sim.tracer.span("cpu.switchin", cat="cpu"):
+                yield from self._switch_in(sim)
+        else:
+            yield from self._switch_in(sim)
         return event.value
+
+    def _switch_in(self, sim: Simulator) -> ProcessGenerator:
+        """Reschedule lag, then a core slice for the switch-in itself."""
+        yield sim.timeout(self.reschedule_delay_us)
+        # Switch-in consumes a slice of CPU (and may queue behind others).
+        yield from self.acquire_core()
+        start = sim.now
+        try:
+            yield sim.timeout(self.context_switch_us)
+        finally:
+            self._record_busy(start, sim.now - start)
+            self.cores.release()
 
     def background_load(self, per_event_us: float, event_stream_period_us: float):
         """Generator simulating kernel work (e.g. TCP interrupt handling).

@@ -12,6 +12,24 @@ Everything in this reproduction runs on virtual time measured in
 The kernel is deterministic: events scheduled for the same instant fire
 in scheduling order, so simulations are exactly reproducible for a
 given RNG seed.
+
+Scheduling discipline (see DESIGN.md §10 for the determinism argument):
+
+* Future events (timers) live in a binary heap keyed ``(when, seq)``.
+* Events triggered *at the current instant* go to a FIFO **now-queue**
+  instead of the heap.  ``seq`` is still assigned globally, so the
+  now-queue is in ``seq`` order by construction and the loop merely
+  merges the two structures by ``(when, seq)`` — the firing order is
+  bit-identical to the all-heap discipline, but the common case
+  (trigger now, fire now) costs two deque operations instead of two
+  ``O(log n)`` heap operations.
+* :class:`Timeout`\\ s support **lazy cancellation**: ``cancel()``
+  tombstones the timer in place and the loop skips it when its heap
+  entry surfaces.  Abandoned deadline/hedge timers therefore cost one
+  skipped pop instead of a callback cascade.
+* A failed event processed with *no callbacks* raises
+  :class:`SimulationError` — failures must be observed, not silently
+  dropped.  Attach a no-op callback to deliberately discard one.
 """
 
 from __future__ import annotations
@@ -61,6 +79,12 @@ class Event:
 
     __slots__ = ("sim", "callbacks", "_value", "_exception", "_triggered", "_processed")
 
+    #: Tombstone flag.  Plain events are never cancelled, so this is a
+    #: class attribute (no per-instance storage); subclasses that support
+    #: cancellation (:class:`Timeout`, the store's getter) shadow it
+    #: with a real slot.
+    _cancelled = False
+
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self.callbacks: list[Callable[[Event], None]] = []
@@ -76,6 +100,10 @@ class Event:
     @property
     def processed(self) -> bool:
         return self._processed
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
 
     @property
     def value(self) -> Any:
@@ -95,19 +123,30 @@ class Event:
             raise SimulationError("event already triggered")
         self._triggered = True
         self._value = value
-        self.sim._push_triggered(self)
+        sim = self.sim
+        sim._seq += 1
+        sim._nowq.append((sim._seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
-        """Trigger the event with an exception delivered to waiters."""
+        """Trigger the event with an exception delivered to waiters.
+
+        A failed event must be *observed*: if it is processed with no
+        callbacks attached, the loop raises instead of dropping the
+        exception.  Attach a no-op callback to discard one on purpose.
+        """
         if self._triggered:
             raise SimulationError("event already triggered")
         self._triggered = True
         self._exception = exception
-        self.sim._push_triggered(self)
+        sim = self.sim
+        sim._seq += 1
+        sim._nowq.append((sim._seq, self))
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self._cancelled:
+            raise SimulationError("cannot wait on a cancelled event")
         if self._processed:
             # Late subscription: run at the current instant.
             self.sim.call_soon(lambda: callback(self))
@@ -115,35 +154,76 @@ class Event:
             self.callbacks.append(callback)
 
 
-class Timeout(Event):
-    """An event that fires ``delay`` microseconds after creation."""
+class _Soon:
+    """A bare ``call_soon`` entry: a function, not a full event."""
 
-    __slots__ = ("delay",)
+    __slots__ = ("fn",)
+    _cancelled = False
+
+    def __init__(self, fn: Callable[[], None]):
+        self.fn = fn
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` microseconds after creation.
+
+    Supports **lazy cancellation**: :meth:`cancel` tombstones the timer;
+    its heap entry is skipped (no callbacks run, ``processed`` stays
+    false) when the loop reaches it.  :class:`AnyOf` cancels losing
+    timers automatically, so abandoned deadline/hedge timers do not
+    cascade through the callback machinery when they expire.
+    """
+
+    __slots__ = ("delay", "_cancelled")
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
-        super().__init__(sim)
-        self.delay = delay
+        # Inlined Event.__init__ plus scheduling: Timeout construction is
+        # one of the hottest kernel paths (one per modelled service time).
+        self.sim = sim
+        self.callbacks = []
         self._value = value
+        self._exception = None
         self._triggered = True  # scheduled immediately; fires at now+delay
-        sim._schedule_at(sim.now + delay, self)
+        self._processed = False
+        self._cancelled = False
+        self.delay = delay
+        sim._seq += 1
+        heapq.heappush(sim._heap, (sim.now + delay, sim._seq, self))
+
+    def cancel(self) -> None:
+        """Tombstone the timer: it will never fire.
+
+        Idempotent; a no-op once the timer has already fired.  Waiting
+        on a cancelled timer is a kernel error (the wait could never
+        end), so ``add_callback`` raises on tombstoned events.
+        """
+        if self._processed or self._cancelled:
+            return
+        self._cancelled = True
+        self.callbacks.clear()
 
 
 class Process(Event):
     """A running coroutine; as an event, fires when the coroutine returns."""
 
-    __slots__ = ("generator", "name", "_target", "_interrupts")
+    __slots__ = ("generator", "name", "_target", "_interrupts", "_send", "_throw")
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = ""):
         super().__init__(sim)
         self.generator = generator
+        # Bound methods cached once: _resume is the single hottest
+        # call site in the kernel (one invocation per event fired).
+        self._send = generator.send
+        self._throw = generator.throw
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
         self._interrupts: deque[Interrupt] = deque()
         # Causal link for tracing: the child inherits the spawner's
-        # innermost open span (no-op on the default tracer).
-        sim.tracer.on_spawn(self)
+        # innermost open span (short-circuited under the no-op tracer).
+        if sim.tracer.enabled:
+            sim.tracer.on_spawn(self)
         bootstrap = Event(sim)
         bootstrap.callbacks.append(self._resume)
         bootstrap.succeed()
@@ -154,7 +234,7 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current instant."""
-        if not self.is_alive:
+        if self._triggered:
             return
         self._interrupts.append(Interrupt(cause))
         target = self._target
@@ -181,11 +261,11 @@ class Process(Event):
         try:
             try:
                 if self._interrupts:
-                    step = self.generator.throw(self._interrupts.popleft())
+                    step = self._throw(self._interrupts.popleft())
                 elif event._exception is not None:
-                    step = self.generator.throw(event._exception)
+                    step = self._throw(event._exception)
                 else:
-                    step = self.generator.send(event._value)
+                    step = self._send(event._value)
             except StopIteration as stop:
                 self._finish(stop.value)
                 return
@@ -201,18 +281,28 @@ class Process(Event):
             )
         if self._interrupts:
             # An interrupt arrived while we were stepping: wake immediately.
-            wake = Event(self.sim)
+            wake = Event(sim)
             wake.callbacks.append(self._resume)
             wake.succeed()
             return
+        if step._cancelled:
+            raise SimulationError(
+                f"process {self.name!r} yielded a cancelled event (it would never fire)"
+            )
         self._target = step
-        step.add_callback(self._resume)
+        if step._processed:
+            step.add_callback(self._resume)  # rare: already-fired event
+        else:
+            step.callbacks.append(self._resume)
 
     def _finish(self, value: Any) -> None:
         self._triggered = True
         self._value = value
-        self.sim.tracer.on_finish(self)
-        self.sim._push_triggered(self)
+        sim = self.sim
+        if sim.tracer.enabled:
+            sim.tracer.on_finish(self)
+        sim._seq += 1
+        sim._nowq.append((sim._seq, self))
 
 
 class AllOf(Event):
@@ -242,21 +332,46 @@ class AllOf(Event):
 
 
 class AnyOf(Event):
-    """Fires when the first child event fires; value is (index, value)."""
+    """Fires when the first child event fires; value is (index, value).
 
-    __slots__ = ("_events",)
+    On the first firing the composite *detaches* its callbacks from the
+    losing children: a later ``fail()`` on a loser is then processed
+    with no observers and escalates through the loop's unobserved-
+    failure check instead of being silently swallowed by the
+    ``_triggered`` guard.  Losing :class:`Timeout`\\ s with no other
+    waiters are tombstoned outright, so abandoned race timers (deadline
+    budgets, hedge delays, adaptive spin budgets) expire as skipped heap
+    pops rather than callback cascades.
+    """
+
+    __slots__ = ("_events", "_waits")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         self._events = list(events)
         if not self._events:
             raise SimulationError("AnyOf needs at least one event")
+        self._waits: list[Callable[[Event], None]] = []
         for index, event in enumerate(self._events):
-            event.add_callback(lambda e, i=index: self._child_done(i, e))
+            callback = (lambda e, i=index: self._child_done(i, e))
+            self._waits.append(callback)
+            event.add_callback(callback)
 
     def _child_done(self, index: int, event: Event) -> None:
         if self._triggered:
             return
+        # Detach from every loser so their eventual outcomes are not
+        # swallowed by the guard above; tombstone bare losing timers.
+        for loser, callback in zip(self._events, self._waits):
+            if loser is event or loser._processed:
+                continue
+            try:
+                loser.callbacks.remove(callback)
+            except ValueError:
+                pass
+            if isinstance(loser, Timeout) and not loser.callbacks:
+                loser.cancel()
+        self._waits = []
         if event._exception is not None:
             self.fail(event._exception)
         else:
@@ -267,7 +382,13 @@ class _Request(Event):
     __slots__ = ("resource", "amount")
 
     def __init__(self, sim: "Simulator", resource: "Resource", amount: int):
-        super().__init__(sim)
+        # Inlined Event.__init__ (request issue is a kernel hot path).
+        self.sim = sim
+        self.callbacks = []
+        self._value = None
+        self._exception = None
+        self._triggered = False
+        self._processed = False
         self.resource = resource
         self.amount = amount
 
@@ -290,21 +411,57 @@ class Resource:
         # Busy-time accounting for utilization reporting.
         self._busy_area = 0.0
         self._last_change = sim.now
+        # Busy-area snapshots for *windowed* utilization queries:
+        # (time, busy_area-at-that-time), appended by mark_utilization().
+        # The creation snapshot makes utilization(since=creation) exact.
+        self._busy_marks: list[tuple[float, float]] = [(sim.now, 0.0)]
+
+    def try_acquire(self, amount: int = 1) -> bool:
+        """Grant ``amount`` units inline, without an event, when possible.
+
+        Returns True and takes the capacity if no one is queued and the
+        units are free — the caller proceeds immediately (same virtual
+        instant as an immediately-granted ``request()``, minus the
+        scheduler round-trip) and must ``release(amount)`` exactly once.
+        Returns False without side effects when the caller must queue
+        via ``request()``.
+        """
+        if self._queue or self.in_use + amount > self.capacity:
+            return False
+        now = self.sim.now
+        self._busy_area += self.in_use * (now - self._last_change)
+        self._last_change = now
+        self.in_use += amount
+        return True
 
     def request(self, amount: int = 1) -> Event:
         if amount > self.capacity:
             raise SimulationError("request exceeds resource capacity")
-        req = _Request(self.sim, self, amount)
-        self._queue.append(req)
-        self._grant()
+        sim = self.sim
+        req = _Request(sim, self, amount)
+        if not self._queue and self.in_use + amount <= self.capacity:
+            # Fast path: immediately grantable (the queue head is never
+            # grantable while queued, so a non-empty queue means wait).
+            now = sim.now
+            self._busy_area += self.in_use * (now - self._last_change)
+            self._last_change = now
+            self.in_use += amount
+            req._triggered = True
+            sim._seq += 1
+            sim._nowq.append((sim._seq, req))
+        else:
+            self._queue.append(req)
         return req
 
     def release(self, amount: int = 1) -> None:
-        self._account()
+        now = self.sim.now
+        self._busy_area += self.in_use * (now - self._last_change)
+        self._last_change = now
         self.in_use -= amount
         if self.in_use < 0:
             raise SimulationError(f"resource {self.name!r} over-released")
-        self._grant()
+        if self._queue:
+            self._grant()
 
     def cancel(self, request: Event) -> None:
         """Abandon a grant request (interrupt-safe teardown).
@@ -316,7 +473,7 @@ class Resource:
         """
         if not isinstance(request, _Request) or request.resource is not self:
             raise SimulationError("cancel() takes a request issued by this resource")
-        if request.triggered:
+        if request._triggered:
             self.release(request.amount)
             return
         try:
@@ -325,11 +482,31 @@ class Resource:
             pass
 
     def _grant(self) -> None:
-        while self._queue and self.in_use + self._queue[0].amount <= self.capacity:
-            req = self._queue.popleft()
-            self._account()
-            self.in_use += req.amount
-            req.succeed()
+        """Grant every queue-head request that fits, in one batch.
+
+        Accounting is settled once up front: all grants in the batch
+        happen at the same instant, so per-grant accounting would add
+        zero-width slices.  ``succeed`` only *schedules* the waiters
+        (callbacks run when the loop pops them), so no release can
+        interleave with the batch.
+        """
+        queue = self._queue
+        if not queue or self.in_use + queue[0].amount > self.capacity:
+            return
+        sim = self.sim
+        now = sim.now
+        self._busy_area += self.in_use * (now - self._last_change)
+        self._last_change = now
+        in_use = self.in_use
+        capacity = self.capacity
+        nowq = sim._nowq
+        while queue and in_use + queue[0].amount <= capacity:
+            req = queue.popleft()
+            in_use += req.amount
+            req._triggered = True
+            sim._seq += 1
+            nowq.append((sim._seq, req))
+        self.in_use = in_use
 
     def _account(self) -> None:
         now = self.sim.now
@@ -340,13 +517,57 @@ class Resource:
     def queue_length(self) -> int:
         return len(self._queue)
 
-    def utilization(self, since: float = 0.0) -> float:
-        """Mean fraction of capacity in use between ``since`` and now."""
+    def mark_utilization(self) -> float:
+        """Snapshot the busy-area now; returns the snapshot time.
+
+        ``utilization(since=<returned time>)`` is then exact for the
+        window between the mark and any later instant.
+        """
         self._account()
-        elapsed = self.sim.now - since
+        now = self.sim.now
+        marks = self._busy_marks
+        if marks[-1][0] != now:
+            marks.append((now, self._busy_area))
+        return now
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Mean fraction of capacity in use between ``since`` and now.
+
+        ``since`` must be 0, at-or-before the resource's creation, or a
+        time previously snapshotted with :meth:`mark_utilization` —
+        otherwise the busy area consumed before ``since`` is unknown and
+        the quotient would overestimate, so the query raises instead of
+        silently returning a wrong number.
+        """
+        self._account()
+        now = self.sim.now
+        elapsed = now - since
         if elapsed <= 0:
             return 0.0
-        return self._busy_area / (elapsed * self.capacity)
+        area = self._busy_area
+        if since > 0.0:
+            area -= self._area_at(since)
+        return area / (elapsed * self.capacity)
+
+    def _area_at(self, when: float) -> float:
+        """Busy area accumulated by ``when`` (needs a snapshot there)."""
+        marks = self._busy_marks
+        if when <= marks[0][0]:
+            return 0.0  # before the resource existed: nothing accumulated
+        lo, hi = 0, len(marks) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if marks[mid][0] <= when:
+                lo = mid
+            else:
+                hi = mid - 1
+        time, area = marks[lo]
+        if time != when:
+            raise SimulationError(
+                f"windowed utilization needs a mark_utilization() snapshot at "
+                f"t={when:g}us (nearest earlier mark: t={time:g}us)"
+            )
+        return area
 
     def acquire(self, amount: int = 1) -> ProcessGenerator:
         """``yield from`` helper: waits for the grant."""
@@ -361,28 +582,77 @@ class Resource:
             self.release(amount)
 
 
+class _Get(Event):
+    """A pending ``Store.get()``; cancellable so interrupts don't eat items."""
+
+    __slots__ = ("store", "_cancelled")
+
+    def __init__(self, sim: "Simulator", store: "Store"):
+        super().__init__(sim)
+        self.store = store
+        self._cancelled = False
+
+
 class Store:
-    """An unbounded FIFO channel of items between processes."""
+    """An unbounded FIFO channel of items between processes.
+
+    Interrupt safety: a process interrupted while waiting on ``get()``
+    detaches from its getter event, but the event would still sit in
+    the waiter queue — and a ``put()`` succeeding it would hand the item
+    to a process that never consumes it.  ``put()`` therefore skips
+    getters that are cancelled or have no remaining observers, and
+    :meth:`cancel` provides the explicit teardown path (mirroring
+    :meth:`Resource.cancel`), returning an already-delivered item to the
+    head of the queue.
+    """
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
         self.name = name
         self._items: deque[Any] = deque()
-        self._getters: deque[Event] = deque()
+        self._getters: deque[_Get] = deque()
 
     def put(self, item: Any) -> None:
-        if self._getters:
-            self._getters.popleft().succeed(item)
-        else:
-            self._items.append(item)
+        getters = self._getters
+        while getters:
+            getter = getters.popleft()
+            if getter._cancelled or not getter.callbacks:
+                # Dead getter: cancelled, or its waiter was interrupted
+                # and detached.  Succeeding it would vanish the item.
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
 
     def get(self) -> Event:
-        event = Event(self.sim)
+        event = _Get(self.sim, self)
         if self._items:
             event.succeed(self._items.popleft())
         else:
             self._getters.append(event)
         return event
+
+    def cancel(self, event: Event) -> None:
+        """Abandon a ``get()`` (interrupt-safe teardown).
+
+        If the getter already received an item that was never consumed,
+        the item is returned to the *head* of the queue (it was the
+        oldest); a still-pending getter is tombstoned and purged.
+        """
+        if not isinstance(event, _Get) or event.store is not self:
+            raise SimulationError("cancel() takes a get() event issued by this store")
+        if event._cancelled:
+            return
+        if event._triggered:
+            self._items.appendleft(event._value)
+            event._cancelled = True
+            return
+        event._cancelled = True
+        event.callbacks.clear()
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            pass  # already purged by put()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -393,9 +663,16 @@ class Simulator:
 
     def __init__(self):
         self.now: float = 0.0
+        #: Future events: a heap of ``(when, seq, event)``.
         self._heap: list[tuple[float, int, Event]] = []
+        #: Events triggered at the current instant: ``(seq, event)`` in
+        #: FIFO (= seq) order.  Always drained before the clock advances.
+        self._nowq: deque[tuple[int, Any]] = deque()
         self._seq = 0
         self._running = False
+        #: Total events popped by the loop (perf accounting; includes
+        #: skipped tombstones and ``call_soon`` thunks).
+        self.events_processed = 0
         #: Span tracer; :data:`~repro.telemetry.NOOP_TRACER` unless a
         #: :class:`~repro.telemetry.TraceRecorder` is installed.
         self.tracer = NOOP_TRACER
@@ -409,12 +686,13 @@ class Simulator:
         heapq.heappush(self._heap, (when, self._seq, event))
 
     def _push_triggered(self, event: Event) -> None:
-        self._schedule_at(self.now, event)
+        self._seq += 1
+        self._nowq.append((self._seq, event))
 
     def call_soon(self, fn: Callable[[], None]) -> None:
-        event = Event(self)
-        event.callbacks.append(lambda _e: fn())
-        event.succeed()
+        """Run ``fn`` at the current instant, after already-queued events."""
+        self._seq += 1
+        self._nowq.append((self._seq, _Soon(fn)))
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
@@ -438,41 +716,122 @@ class Simulator:
         return Store(self, name)
 
     # -- main loop -------------------------------------------------------
+    #
+    # The loop bodies in ``step``/``run``/``run_until_complete`` are
+    # deliberately inlined copies of one another: the kernel spends the
+    # whole simulation inside them, and a shared per-event helper call
+    # costs ~10 % of the loop.  Keep the three in sync.
 
     def step(self) -> None:
-        when, _seq, event = heapq.heappop(self._heap)
-        if when < self.now:
-            raise SimulationError("time ran backwards")
-        self.now = when
+        """Pop and process exactly one event (public single-step API)."""
+        nowq = self._nowq
+        heap = self._heap
+        if nowq and not (heap and heap[0][0] <= self.now and heap[0][1] < nowq[0][0]):
+            _seq, event = nowq.popleft()
+        else:
+            when, _seq, event = heapq.heappop(heap)
+            if when < self.now:
+                raise SimulationError("time ran backwards")
+            self.now = when
+        self.events_processed += 1
+        if event._cancelled:
+            return
+        if event.__class__ is _Soon:
+            event.fn()
+            return
         event._processed = True
-        callbacks, event.callbacks = event.callbacks, []
-        for callback in callbacks:
-            callback(event)
+        callbacks = event.callbacks
+        if callbacks:
+            event.callbacks = []
+            for callback in callbacks:
+                callback(event)
+        elif event._exception is not None:
+            raise SimulationError(
+                f"failed event died unobserved: {event._exception!r}"
+            ) from event._exception
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap drains or the clock passes ``until``."""
+        """Run until the queues drain or the clock passes ``until``."""
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        heappop = heapq.heappop
+        nowq = self._nowq
+        heap = self._heap
+        events = 0
         try:
-            while self._heap:
-                if until is not None and self._heap[0][0] > until:
-                    self.now = until
-                    return
-                self.step()
+            while nowq or heap:
+                if nowq and not (heap and heap[0][0] <= self.now and heap[0][1] < nowq[0][0]):
+                    _seq, event = nowq.popleft()
+                else:
+                    if until is not None and heap[0][0] > until:
+                        self.now = until
+                        return
+                    when, _seq, event = heappop(heap)
+                    if when < self.now:
+                        raise SimulationError("time ran backwards")
+                    self.now = when
+                events += 1
+                if event._cancelled:
+                    continue
+                if event.__class__ is _Soon:
+                    event.fn()
+                    continue
+                event._processed = True
+                callbacks = event.callbacks
+                if callbacks:
+                    event.callbacks = []
+                    for callback in callbacks:
+                        callback(event)
+                elif event._exception is not None:
+                    raise SimulationError(
+                        f"failed event died unobserved: {event._exception!r}"
+                    ) from event._exception
             if until is not None and until > self.now:
                 self.now = until
         finally:
+            self.events_processed += events
             self._running = False
 
     def run_until_complete(self, process: Process, limit: float = 1e15) -> Any:
         """Run until ``process`` finishes and return its value."""
-        while not process.triggered:
-            if not self._heap:
-                raise SimulationError(
-                    f"deadlock: process {process.name!r} cannot complete"
-                )
-            if self._heap[0][0] > limit:
-                raise SimulationError(f"process {process.name!r} exceeded time limit")
-            self.step()
+        heappop = heapq.heappop
+        nowq = self._nowq
+        heap = self._heap
+        events = 0
+        try:
+            while not process._triggered:
+                if nowq and not (heap and heap[0][0] <= self.now and heap[0][1] < nowq[0][0]):
+                    _seq, event = nowq.popleft()
+                elif heap:
+                    if heap[0][0] > limit:
+                        raise SimulationError(
+                            f"process {process.name!r} exceeded time limit"
+                        )
+                    when, _seq, event = heappop(heap)
+                    if when < self.now:
+                        raise SimulationError("time ran backwards")
+                    self.now = when
+                else:
+                    raise SimulationError(
+                        f"deadlock: process {process.name!r} cannot complete"
+                    )
+                events += 1
+                if event._cancelled:
+                    continue
+                if event.__class__ is _Soon:
+                    event.fn()
+                    continue
+                event._processed = True
+                callbacks = event.callbacks
+                if callbacks:
+                    event.callbacks = []
+                    for callback in callbacks:
+                        callback(event)
+                elif event._exception is not None:
+                    raise SimulationError(
+                        f"failed event died unobserved: {event._exception!r}"
+                    ) from event._exception
+        finally:
+            self.events_processed += events
         return process.value

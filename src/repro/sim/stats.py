@@ -13,19 +13,57 @@ from dataclasses import dataclass, field
 __all__ = ["LatencyRecorder", "Counter", "TimeSeries", "summarize"]
 
 
+class _SampleList(list):
+    """A list that stamps a version on every mutation.
+
+    The percentile cache keys on the version, so *any* mutation —
+    including in-place edits that keep the length unchanged, which a
+    bare length check cannot see — invalidates the sorted view.
+    """
+
+    __slots__ = ("version",)
+
+    def __init__(self, *args):
+        super().__init__(*args)
+        self.version = 0
+
+    def _bump(method):  # noqa: N805 - decorator over list methods
+        def wrapped(self, *args, **kwargs):
+            self.version += 1
+            return method(self, *args, **kwargs)
+
+        wrapped.__name__ = method.__name__
+        return wrapped
+
+    append = _bump(list.append)
+    extend = _bump(list.extend)
+    insert = _bump(list.insert)
+    remove = _bump(list.remove)
+    pop = _bump(list.pop)
+    clear = _bump(list.clear)
+    sort = _bump(list.sort)
+    reverse = _bump(list.reverse)
+    __setitem__ = _bump(list.__setitem__)
+    __delitem__ = _bump(list.__delitem__)
+    __iadd__ = _bump(list.__iadd__)
+    __imul__ = _bump(list.__imul__)
+
+    del _bump
+
+
 class LatencyRecorder:
     """Collects latency samples (µs) and reports percentile statistics."""
 
     def __init__(self, name: str = ""):
         self.name = name
-        self.samples: list[float] = []
+        self.samples: list[float] = _SampleList()
         # Sorted-view cache so repeated percentile reads (p50/p95/p99 on
         # the same recorder) don't re-sort O(n log n) each call.
         self._sorted: list[float] | None = None
+        self._sorted_version = -1
 
     def record(self, latency_us: float) -> None:
         self.samples.append(latency_us)
-        self._sorted = None
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -42,13 +80,17 @@ class LatencyRecorder:
 
     def percentile(self, pct: float) -> float:
         """Nearest-rank percentile; ``pct`` in [0, 100]."""
-        if not self.samples:
+        samples = self.samples
+        if not samples:
             return 0.0
+        # Any mutation through the ``_SampleList`` API bumps ``version``
+        # (including same-length in-place edits); the length check is a
+        # fallback for callers that replace ``samples`` with a bare list.
+        version = getattr(samples, "version", -1)
         ordered = self._sorted
-        if ordered is None or len(ordered) != len(self.samples):
-            # Length check guards callers that append to ``samples``
-            # directly instead of going through ``record``.
-            ordered = self._sorted = sorted(self.samples)
+        if ordered is None or version != self._sorted_version or len(ordered) != len(samples):
+            ordered = self._sorted = sorted(samples)
+            self._sorted_version = version
         rank = max(0, min(len(ordered) - 1, math.ceil(pct / 100.0 * len(ordered)) - 1))
         return ordered[rank]
 
@@ -109,10 +151,18 @@ class TimeSeries:
         )
 
     def series(self, until_us: float | None = None) -> list[tuple[float, float]]:
-        """Return ``(bucket_start_seconds, value)`` pairs, zero-filled."""
+        """Return ``(bucket_start_seconds, value)`` pairs, zero-filled.
+
+        ``until_us`` extends the zero-filled tail; it never *drops*
+        data — populated buckets beyond ``until_us`` are still included
+        (silent truncation would under-report whatever accumulated after
+        the caller's nominal window).
+        """
         if not self.buckets and until_us is None:
             return []
-        last = int(until_us // self.bucket_us) if until_us is not None else max(self.buckets)
+        last = max(self.buckets) if self.buckets else 0
+        if until_us is not None:
+            last = max(last, int(until_us // self.bucket_us))
         return [
             (index * self.bucket_us / 1e6, self.buckets.get(index, 0.0))
             for index in range(last + 1)

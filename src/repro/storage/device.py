@@ -88,7 +88,10 @@ class BlockDevice(abc.ABC):
         if offset < 0:
             raise ValueError(f"I/O offset must be >= 0, got {offset}")
         start = self.sim.now
-        with self.sim.tracer.span(self._span_names[op], cat="disk", size=size):
+        if self.sim.tracer.enabled:
+            with self.sim.tracer.span(self._span_names[op], cat="disk", size=size):
+                yield from self._service(op, offset, size)
+        else:
             yield from self._service(op, offset, size)
         latency = self.sim.now - start
         self._account(op, size, latency)

@@ -54,6 +54,19 @@ def register_nic(registry: MetricsRegistry, prefix: str, nic: Any) -> None:
 def register_cpu(registry: MetricsRegistry, prefix: str, cpu: Any) -> None:
     _gauge_attr(registry, f"{prefix}.context_switches", cpu, "context_switches")
     registry.gauge(f"{prefix}.utilization", lambda: float(cpu.utilization()))
+    if hasattr(cpu, "mark_utilization"):
+        # Windowed gauge: utilization since the *previous* poll, anchored
+        # on an exact busy-area snapshot (an unanchored ``since`` would
+        # overestimate — see Resource.utilization).
+        window_start = [cpu.mark_utilization()]
+
+        def _window() -> float:
+            since = window_start[0]
+            value = float(cpu.utilization(since))
+            window_start[0] = cpu.mark_utilization()
+            return value
+
+        registry.gauge(f"{prefix}.utilization_window", _window)
     if getattr(cpu, "busy_series", None) is not None:
         registry.register(f"{prefix}.busy", cpu.busy_series)
 
