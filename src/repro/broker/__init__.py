@@ -1,6 +1,13 @@
 """Cluster memory brokering: proxies, leases, broker, metadata store."""
 
-from .broker import BrokerError, BrokerUnavailable, InsufficientMemory, MemoryBroker
+from .broker import (
+    BrokerError,
+    BrokerUnavailable,
+    InsufficientMemory,
+    MemoryBroker,
+    PlacementHook,
+    RevocationListeners,
+)
 from .lease import Lease, LeaseState
 from .metadata import CasConflict, MetadataStore
 from .proxy import DEFAULT_MR_BYTES, MemoryProxy
@@ -16,4 +23,6 @@ __all__ = [
     "MemoryBroker",
     "MemoryProxy",
     "MetadataStore",
+    "PlacementHook",
+    "RevocationListeners",
 ]

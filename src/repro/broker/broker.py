@@ -19,7 +19,21 @@ from ..sim.kernel import ProcessGenerator
 from .lease import Lease, LeaseState
 from .metadata import MetadataStore
 
-__all__ = ["MemoryBroker", "BrokerError", "BrokerUnavailable", "InsufficientMemory"]
+__all__ = [
+    "MemoryBroker",
+    "BrokerError",
+    "BrokerUnavailable",
+    "InsufficientMemory",
+    "PlacementHook",
+    "RevocationListeners",
+]
+
+#: Pluggable provider-selection hook: called once per MR grant with the
+#: requesting holder, the candidate providers that still have unleased
+#: MRs (in the broker's default order) and the broker itself; returns
+#: the provider to take the next MR from.  Returning ``None`` or a
+#: provider with nothing available falls back to the default choice.
+PlacementHook = Callable[[str, list, "MemoryBroker"], Optional[str]]
 
 
 class BrokerError(RuntimeError):
@@ -32,6 +46,48 @@ class InsufficientMemory(BrokerError):
 
 class BrokerUnavailable(BrokerError):
     """The broker process is down (restarting); retry after recovery."""
+
+
+class RevocationListeners:
+    """Per-holder revocation callbacks, fired in registration order.
+
+    Historically a plain ``dict[str, callable]`` where a second
+    registration silently overwrote the first — the remote filesystem
+    and the fleet marketplace both need to observe revocations, so each
+    holder now keeps an ordered list.  Item assignment *adds* a listener
+    (it no longer replaces) so the old ``listeners[holder] = fn`` call
+    sites keep working; registering the same callable twice is a no-op,
+    and fire order is registration order, deterministically.
+    """
+
+    def __init__(self):
+        self._by_holder: dict[str, list[Callable[[Lease], None]]] = {}
+
+    def add(self, holder: str, fn: Callable[[Lease], None]) -> Callable[[Lease], None]:
+        listeners = self._by_holder.setdefault(holder, [])
+        if fn not in listeners:
+            listeners.append(fn)
+        return fn
+
+    def remove(self, holder: str, fn: Callable[[Lease], None]) -> None:
+        listeners = self._by_holder.get(holder)
+        if listeners and fn in listeners:
+            listeners.remove(fn)
+            if not listeners:
+                del self._by_holder[holder]
+
+    def get(self, holder: str) -> tuple[Callable[[Lease], None], ...]:
+        """Snapshot of the holder's listeners in registration order."""
+        return tuple(self._by_holder.get(holder, ()))
+
+    def __setitem__(self, holder: str, fn: Callable[[Lease], None]) -> None:
+        self.add(holder, fn)
+
+    def __contains__(self, holder: str) -> bool:
+        return holder in self._by_holder
+
+    def __len__(self) -> int:
+        return sum(len(listeners) for listeners in self._by_holder.values())
 
 
 class MemoryBroker:
@@ -52,10 +108,20 @@ class MemoryBroker:
         # Available (unleased) regions per provider server, FIFO.
         self._available: dict[str, deque[MemoryRegion]] = {}
         self._leases: dict[int, Lease] = {}
-        #: Callbacks fired when a lease is revoked: holder name -> fn(lease).
-        self.revocation_listeners: dict[str, Callable[[Lease], None]] = {}
+        #: Callbacks fired when a lease is revoked: holder -> [fn(lease)].
+        self.revocation_listeners = RevocationListeners()
+        #: Provider-selection hook for non-``spread`` grants.  ``None``
+        #: preserves the classic drain-first-provider order bit for bit;
+        #: the fleet marketplace installs anti-affinity spreading here.
+        self.placement: Optional[PlacementHook] = None
         #: Fault state: all broker RPCs raise BrokerUnavailable while down.
         self.alive = True
+
+    def add_revocation_listener(
+        self, holder: str, fn: Callable[[Lease], None]
+    ) -> Callable[[Lease], None]:
+        """Register ``fn`` to observe ``holder``'s revocations (multi-listener)."""
+        return self.revocation_listeners.add(holder, fn)
 
     # -- fault hooks -------------------------------------------------------
 
@@ -176,6 +242,12 @@ class MemoryBroker:
 
     # -- consumer side ----------------------------------------------------
 
+    def available_regions(self, provider: str | None = None) -> list[MemoryRegion]:
+        """Unleased regions, in grant (FIFO) order, optionally per provider."""
+        if provider is not None:
+            return list(self._available.get(provider, ()))
+        return [r for name in sorted(self._available) for r in self._available[name]]
+
     def available_bytes(self, provider: str | None = None) -> int:
         if provider is not None:
             return sum(r.size for r in self._available.get(provider, ()))
@@ -241,7 +313,14 @@ class MemoryBroker:
                 provider = candidates[cursor % len(candidates)]
                 cursor += 1
             else:
-                provider = next((c for c in candidates if self._available.get(c)), None)
+                live = [c for c in candidates if self._available.get(c)]
+                provider = None
+                if self.placement is not None and live:
+                    provider = self.placement(holder, live, self)
+                    if provider is not None and not self._available.get(provider):
+                        provider = None  # hook picked an empty/unknown provider
+                if provider is None:
+                    provider = live[0] if live else None
             if provider is None or not self._available.get(provider):
                 # Give back what we took: all-or-nothing semantics.
                 for lease in leases:
@@ -326,8 +405,7 @@ class MemoryBroker:
             self._notify(lease)
 
     def _notify(self, lease: Lease) -> None:
-        listener = self.revocation_listeners.get(lease.holder)
-        if listener is not None:
+        for listener in self.revocation_listeners.get(lease.holder):
             listener(lease)
 
     @property

@@ -73,3 +73,7 @@ class MetadataStore:
     def peek(self, key: str) -> Optional[Any]:
         entry = self._data.get(key)
         return entry[1] if entry is not None else None
+
+    def peek_keys(self, prefix: str = "") -> list[str]:
+        """Sorted keys under ``prefix`` without charging quorum latency."""
+        return sorted(k for k in self._data if k.startswith(prefix))

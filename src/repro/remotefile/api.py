@@ -658,7 +658,7 @@ class RemoteMemoryFilesystem:
         #: deadline + retry, transfers get the full policy set.
         self.reliability = reliability
         self.files: dict[str, RemoteFile] = {}
-        broker.revocation_listeners[owner.name] = self._on_revocation
+        broker.add_revocation_listener(owner.name, self._on_revocation)
 
     def initialize(self) -> ProcessGenerator:
         yield from self.staging.initialize()

@@ -29,7 +29,9 @@ __all__ = [
     "RangeScanReport",
     "build_customer_table",
     "launch_rangescan",
+    "read_query",
     "run_rangescan",
+    "update_query",
 ]
 
 #: TPC-H Customer schema; widths sum to ~245 bytes (paper Section 5.2.1).
@@ -134,6 +136,12 @@ def _update_query(db: Database, table: Table, start_key: int, range_size: int) -
         leaf = yield from db.pool.get_page(tree.store.file_id, next_no)
     yield from db.wal.log_update(table.name, start_key, None, LogRecordKind.COMMIT)
     return touched
+
+
+# Public aliases: other drivers (the fleet tenant workloads) multiplex
+# single queries without going through a whole RangeScanConfig run.
+read_query = _read_query
+update_query = _update_query
 
 
 def launch_rangescan(db: Database, table: Table, config: RangeScanConfig,

@@ -1,0 +1,66 @@
+"""Traffic shapes are pure, deterministic functions of virtual time."""
+
+import pytest
+
+from repro.fleet import (
+    DiurnalShape,
+    FlashCrowdShape,
+    SteadyShape,
+    zipf_shares,
+)
+
+
+class TestShapes:
+    def test_steady_is_flat(self):
+        shape = SteadyShape(level=0.7)
+        assert shape.intensity(0) == shape.intensity(5e6) == 0.7
+
+    def test_diurnal_trough_and_peak(self):
+        shape = DiurnalShape(period_us=24e6, low=0.2, high=1.0, phase=0.0)
+        assert shape.intensity(0.0) == pytest.approx(0.2)
+        assert shape.intensity(12e6) == pytest.approx(1.0)
+        assert shape.intensity(24e6) == pytest.approx(0.2)
+
+    def test_diurnal_antiphase_tenants_sum_constant(self):
+        a = DiurnalShape(period_us=16e6, low=0.0, high=1.0, phase=0.0)
+        b = DiurnalShape(period_us=16e6, low=0.0, high=1.0, phase=0.5)
+        for t in (0.0, 1e6, 3.7e6, 8e6, 15e6):
+            assert a.intensity(t) + b.intensity(t) == pytest.approx(1.0)
+
+    def test_diurnal_bounded(self):
+        shape = DiurnalShape(period_us=24e6, low=0.1, high=0.9)
+        for t in range(0, 48, 5):
+            value = shape.intensity(t * 1e6)
+            assert 0.1 <= value <= 0.9 + 1e-12
+
+    def test_flash_crowd_window(self):
+        shape = FlashCrowdShape(at_us=4e6, duration_us=2e6, base=0.1, peak=1.0)
+        assert shape.intensity(3.999e6) == 0.1
+        assert shape.intensity(4e6) == 1.0
+        assert shape.intensity(5.999e6) == 1.0
+        assert shape.intensity(6e6) == 0.1
+
+    def test_shapes_are_pure(self):
+        shape = DiurnalShape(period_us=24e6)
+        assert shape.intensity(7e6) == shape.intensity(7e6)
+
+
+class TestZipfShares:
+    def test_shares_sum_to_one_and_decrease(self):
+        shares = zipf_shares(5, s=1.2)
+        assert sum(shares) == pytest.approx(1.0)
+        assert shares == sorted(shares, reverse=True)
+
+    def test_skew_parameter_sharpens_head(self):
+        flat = zipf_shares(4, s=0.5)
+        steep = zipf_shares(4, s=2.0)
+        assert steep[0] > flat[0]
+
+    def test_empty(self):
+        assert zipf_shares(0) == []
+
+    def test_single_tenant_gets_everything(self):
+        assert zipf_shares(1) == [1.0]
+
+    def test_deterministic(self):
+        assert zipf_shares(7, s=1.3) == zipf_shares(7, s=1.3)
