@@ -99,6 +99,11 @@ class BufferPoolExtension:
         #: Observers called with the page id whenever a remote failure is
         #: detected on the access path (fault-detection latency probes).
         self.fault_listeners: list[Callable[[PageId], None]] = []
+        #: Observers called with ``(provider, lost_page_ids)`` after an
+        #: ``on_fault`` sweep — the media-loss signal transaction
+        #: managers use to doom in-flight transactions whose working set
+        #: may have evaporated with the provider.
+        self.loss_listeners: list[Callable[[str | None, list[PageId]], None]] = []
         #: Per-read latency of extension fetches (Figure 11c drill-down).
         self.read_latency = LatencyRecorder("bpext.read")
         #: Optional bytes-moved series (Figure 11a drill-down).
@@ -302,6 +307,8 @@ class BufferPoolExtension:
                 self.invalidate(page_id)
                 lost.append(page_id)
         self.pages_lost_to_faults += len(lost)
+        for listener in self.loss_listeners:
+            listener(provider, lost)
         return lost
 
     def replace_store(self, store: PageStore) -> None:

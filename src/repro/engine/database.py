@@ -76,6 +76,20 @@ class Database:
         self.grants = GrantManager(server, workspace)
         self.query_setup_cpu_us = query_setup_cpu_us
         self.queries_executed = 0
+        self._txn_manager = None
+
+    def transactions(self, **kwargs):
+        """This database's transaction manager (lazily created).
+
+        Keyword arguments (``policy``, ``rng``, ``record_history``)
+        configure the manager on first call; later calls return the
+        existing instance so every session shares one lock table.
+        """
+        if self._txn_manager is None:
+            from ..txn import TransactionManager
+
+            self._txn_manager = TransactionManager(self, **kwargs)
+        return self._txn_manager
 
     # -- DDL / loading -----------------------------------------------------
 

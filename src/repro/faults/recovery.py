@@ -47,6 +47,9 @@ class FaultRecord:
     breaker_transitions: list[tuple[float, str, str, str]] = field(default_factory=list)
     #: Hedged reads won by the backup medium during this fault.
     hedge_wins: int = 0
+    #: In-flight transactions doomed by this fault's media loss (see
+    #: :meth:`RecoveryMonitor.track_transactions`).
+    txns_doomed: int = 0
 
     @property
     def detection_latency_us(self) -> Optional[float]:
@@ -69,10 +72,13 @@ class RecoveryMonitor:
         self.sim = sim
         self.records: list[FaultRecord] = []
         self.series: dict[str, list[tuple[float, float]]] = {}
+        self._txn_managers: list[Any] = []
+        self._dooms_at_inject = 0
 
     # -- FaultEngine callbacks --------------------------------------------
 
     def fault_injected(self, spec: FaultSpec) -> None:
+        self._dooms_at_inject = self._txn_dooms()
         self.records.append(FaultRecord(spec=spec, injected_at_us=self.sim.now))
 
     def fault_active(self, spec: FaultSpec, details: dict[str, Any]) -> None:
@@ -80,6 +86,7 @@ class RecoveryMonitor:
         if record is not None:
             record.inject_details = dict(details)
             record.pages_lost = int(details.get("pages_lost", 0))
+            record.txns_doomed = self._txn_dooms() - self._dooms_at_inject
 
     def fault_restored(self, spec: FaultSpec, details: dict[str, Any]) -> None:
         record = self._record_for(spec)
@@ -106,6 +113,21 @@ class RecoveryMonitor:
         if record.detected_at_us is None:
             record.detected_at_us = self.sim.now
         record.refaults += 1
+
+    # -- transaction-layer hook --------------------------------------------
+
+    def track_transactions(self, manager: Any) -> None:
+        """Attribute transaction dooms to fault records.
+
+        Dooming is synchronous with injection (media loss fires the
+        extension's ``loss_listeners`` inline), so the delta in the
+        manager's ``dooms`` counter between injection and activation is
+        exactly the set of transactions this fault killed.
+        """
+        self._txn_managers.append(manager)
+
+    def _txn_dooms(self) -> int:
+        return sum(int(manager.dooms) for manager in self._txn_managers)
 
     # -- reliability-layer hook --------------------------------------------
 
@@ -222,6 +244,7 @@ class RecoveryMonitor:
                 "restore_details": dict(record.restore_details),
                 "breaker_transitions": list(record.breaker_transitions),
                 "hedge_wins": record.hedge_wins,
+                "txns_doomed": record.txns_doomed,
             }
             for record in self.records
         ]

@@ -32,7 +32,7 @@ import numpy as np
 
 from ..sim import LatencyRecorder
 from ..sim.kernel import AllOf, ProcessGenerator
-from ..workloads.rangescan import read_query, update_query
+from ..workloads.rangescan import read_query, txn_update_query, update_query
 from .marketplace import DemandSignal, Marketplace
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -198,7 +198,16 @@ class TenantWorkload:
             )
         elif update:
             yield from db.server.cpu.compute(db.query_setup_cpu_us)
-            yield from update_query(db, table, start_key, self.spec.range_size)
+            if self.spec.transactional:
+                manager = db.transactions()
+                yield from manager.run(
+                    lambda txn, table=table, start_key=start_key: txn_update_query(
+                        txn, table, start_key, self.spec.range_size
+                    ),
+                    name=f"{self.runtime.name}.update",
+                )
+            else:
+                yield from update_query(db, table, start_key, self.spec.range_size)
         else:
             yield from db.server.cpu.compute(db.query_setup_cpu_us)
             yield from read_query(db, table, start_key, self.spec.range_size)

@@ -97,6 +97,11 @@ class TenantSpec:
     hotspot_probability: float = 0.99
     #: "rangescan" or "tpch" — which existing driver queries multiplex onto.
     workload: str = "rangescan"
+    #: Run rangescan updates inside real transactions (2PL + undo +
+    #: retry, see :mod:`repro.txn`) instead of the legacy single-record
+    #: autocommit path.  Off by default: the legacy path is the golden
+    #: baseline for existing fleet scenarios.
+    transactional: bool = False
     tpch_scale: TpchScale = field(
         default_factory=lambda: TpchScale(orders=600, customers=60, parts=80, suppliers=10)
     )
@@ -186,6 +191,15 @@ class TenantRuntime:
         self.revoked_counter = registry.counter(f"{prefix}.leases_revoked")
         registry.gauge(f"{prefix}.ext_pages", lambda: float(self.ext_pages))
         registry.gauge(f"{prefix}.resizes", lambda: float(self.resizes))
+        for stat in (
+            "begins", "commits", "aborts", "deadlock_aborts", "doom_aborts",
+            "dooms", "retries", "exhausted", "deadlocks_detected",
+            "lock_waits", "lock_wait_us",
+        ):
+            registry.gauge(
+                f"{prefix}.txn.{stat}",
+                lambda stat=stat: float(self.txn_stats().get(stat, 0.0)),
+            )
         self.tpch_specs = tpch_query_specs() if spec.workload == "tpch" else []
 
     # -- identity ----------------------------------------------------------
@@ -226,6 +240,18 @@ class TenantRuntime:
             replica.remote_level is not None and not replica.healthy
             for replica in self.replicas
         )
+
+    def txn_stats(self) -> dict[str, float]:
+        """Transaction counters summed over replicas (0s when no
+        replica ever started a transaction — the gauges always exist)."""
+        totals: dict[str, float] = {}
+        for replica in self.replicas:
+            manager = getattr(replica.database, "_txn_manager", None)
+            if manager is None:
+                continue
+            for key, value in manager.stats().items():
+                totals[key] = totals.get(key, 0.0) + value
+        return totals
 
     def ext_counters(self) -> tuple[int, int]:
         """(hits, misses) summed over every replica's extension stack."""
@@ -571,6 +597,8 @@ def run_fleet(
         summary["ext_pages_final"] = runtime.ext_pages
         summary["resizes"] = runtime.resizes
         summary["leases_revoked"] = int(runtime.revoked_counter.value)
+        if runtime.spec.transactional:
+            summary["txn"] = runtime.txn_stats()
         tenants[name] = summary
         aggregate += workload.report.throughput_qps
 

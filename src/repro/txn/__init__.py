@@ -1,0 +1,44 @@
+"""Transactions for the simulated engine: strict 2PL, deadlock
+detection with deterministic victim selection, before-image undo,
+WAL-integrated commit/abort with seeded retry, and an offline
+conflict-serializability checker.
+
+The entry point is :meth:`repro.engine.Database.transactions`, which
+returns the database's (lazily created) :class:`TransactionManager`;
+``manager.run(body)`` executes ``body(txn)`` with automatic
+rollback-and-retry on deadlock or fault-doom.  See DESIGN.md §12.
+"""
+
+from .checker import (
+    CheckResult,
+    CommittedTxn,
+    TxnHistory,
+    check_serializable,
+    committed_row_images,
+)
+from .errors import (
+    DeadlockAbort,
+    TransactionAborted,
+    TransactionDoomed,
+    TxnRetriesExhausted,
+)
+from .locks import LockManager, LockMode
+from .transaction import DEFAULT_TXN_POLICY, Transaction, TransactionManager, TxnState
+
+__all__ = [
+    "CheckResult",
+    "CommittedTxn",
+    "DEFAULT_TXN_POLICY",
+    "DeadlockAbort",
+    "LockManager",
+    "LockMode",
+    "Transaction",
+    "TransactionAborted",
+    "TransactionDoomed",
+    "TransactionManager",
+    "TxnHistory",
+    "TxnRetriesExhausted",
+    "TxnState",
+    "check_serializable",
+    "committed_row_images",
+]

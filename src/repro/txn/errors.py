@@ -1,0 +1,58 @@
+"""Transaction-layer exceptions.
+
+Everything retryable derives from :class:`TransactionAborted`, so the
+retry loop in :class:`~repro.txn.TransactionManager` can catch one type
+and still distinguish deadlock victims from fault-doomed transactions
+for its counters.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DeadlockAbort",
+    "TransactionAborted",
+    "TransactionDoomed",
+    "TxnRetriesExhausted",
+]
+
+
+class TransactionAborted(RuntimeError):
+    """The transaction cannot commit and must be rolled back.
+
+    Retryable: the retry loop rolls back, waits a seeded backoff and
+    runs the body again under a fresh transaction id.
+    """
+
+
+class DeadlockAbort(TransactionAborted):
+    """Chosen as the victim of a wait-for cycle by the lock manager."""
+
+    def __init__(self, txn_id: int, cycle: tuple[int, ...]):
+        super().__init__(f"txn {txn_id} chosen as deadlock victim (cycle {list(cycle)})")
+        self.txn_id = txn_id
+        self.cycle = cycle
+
+
+class TransactionDoomed(TransactionAborted):
+    """A fault invalidated remote memory the transaction may depend on.
+
+    Raised at the transaction's next safe point (operation entry or
+    commit entry) after a provider crash or lease revocation swept pages
+    out of the buffer-pool extension mid-flight.  The write-ahead log is
+    on local disk and unaffected, so rollback and retry are always
+    possible.
+    """
+
+    def __init__(self, txn_id: int, reason: str):
+        super().__init__(f"txn {txn_id} doomed: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class TxnRetriesExhausted(RuntimeError):
+    """The retry budget ran out without a successful commit."""
+
+    def __init__(self, attempts: int, last: TransactionAborted):
+        super().__init__(f"transaction failed after {attempts} attempts: {last}")
+        self.attempts = attempts
+        self.last = last

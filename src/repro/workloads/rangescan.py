@@ -144,6 +144,28 @@ read_query = _read_query
 update_query = _update_query
 
 
+def txn_update_query(txn, table: Table, start_key: int, range_size: int) -> ProcessGenerator:
+    """Transactional UPDATE over the range: per-row X locks + undo.
+
+    The 2PL counterpart of :func:`update_query` for ``transactional``
+    fleet tenants.  Keys are locked in ascending order, so concurrent
+    update transactions never deadlock with each other; the price is
+    one lock + log record per row instead of one per query.  The
+    Customer table's keys are dense in ``[0, n_rows)``, so every key in
+    the window exists.
+    """
+    balance_index = table.schema.index_of("acctbal")
+
+    def bump(row: tuple) -> tuple:
+        new_row = list(row)
+        new_row[balance_index] = row[balance_index] + 1.0
+        return tuple(new_row)
+
+    for key in range(start_key, start_key + range_size):
+        yield from txn.update(table, key, bump)
+    return range_size
+
+
 def launch_rangescan(db: Database, table: Table, config: RangeScanConfig,
                      rng: np.random.Generator | None = None):
     """Spawn the workload without blocking; returns (processes, finalize).

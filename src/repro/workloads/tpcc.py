@@ -10,9 +10,26 @@ Five transaction types over the classic warehouse schema.  Two mixes:
   and does uniform stock checks: a working set far larger than local
   memory, where remote memory pays off (Figure 22, right).
 
-Write transactions take a per-district lock across their read-modify-
-write + commit, so contention scales with concurrency the way the
-paper's latency discussion describes.
+Every transaction runs inside a real :class:`~repro.txn.Transaction`
+(WAL BEGIN/data/COMMIT records, before-image undo, automatic
+abort/retry), under one of two concurrency disciplines:
+
+* ``concurrency="district"`` (default) — writers take a single
+  exclusive lock on their district for the whole transaction, readers
+  run lock-free.  This reproduces the per-district serialization of
+  the paper's latency discussion: no deadlocks, contention scales with
+  workers per district.
+* ``concurrency="2pl"`` — row-granular strict 2PL: S locks on reads
+  (with lock-and-rescan validation for StockLevel's range walk), X
+  locks on writes.  NewOrders of districts sharing a warehouse then
+  conflict on stock rows in *random item order*, so genuine deadlocks
+  arise, are detected by the wait-for graph, and retry with seeded
+  backoff.  ``hot_district_fraction`` concentrates traffic on a few
+  districts to dial the conflict rate up.
+
+Shared-structure bookkeeping (recent orders, undelivered queues) is
+applied via ``on_commit`` hooks, so aborted transactions leave no
+trace in it.
 """
 
 from __future__ import annotations
@@ -22,9 +39,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..engine import Column, Database, Schema, Table
-from ..engine.wal import LogRecordKind
-from ..sim import LatencyRecorder, Resource
+from ..sim import LatencyRecorder
 from ..sim.kernel import AllOf, ProcessGenerator
+from ..txn import LockMode, Transaction
 
 __all__ = [
     "TpccScale",
@@ -119,6 +136,15 @@ class TpccConfig:
     #: Fraction of item picks drawn from the hot set (NURand-like skew).
     hot_item_fraction: float = 0.9
     hot_item_share: float = 0.04
+    #: Lock discipline: "district" (coarse, deadlock-free, legacy
+    #: contention profile) or "2pl" (row-granular strict 2PL).
+    concurrency: str = "district"
+    #: Conflict knob: fraction of transactions routed to a hot subset
+    #: of districts (0 disables), and the size of that subset.
+    hot_district_fraction: float = 0.0
+    hot_district_share: float = 0.1
+    #: Record read/write history for the serializability checker.
+    record_history: bool = False
     seed: int = 0
 
 
@@ -127,10 +153,21 @@ class TpccReport:
     transactions: int = 0
     elapsed_us: float = 0.0
     latency: LatencyRecorder = field(default_factory=lambda: LatencyRecorder("tpcc"))
+    commits: int = 0
+    aborts: int = 0
+    deadlocks: int = 0
+    retries: int = 0
+    dooms: int = 0
+    lock_wait_us: float = 0.0
 
     @property
     def throughput_tps(self) -> float:
         return self.transactions / (self.elapsed_us / 1e6) if self.elapsed_us else 0.0
+
+    @property
+    def abort_rate(self) -> float:
+        attempts = self.commits + self.aborts
+        return self.aborts / attempts if attempts else 0.0
 
 
 class TpccState:
@@ -147,12 +184,11 @@ class TpccState:
         self.order_line: Table = None  # type: ignore[assignment]
         self.next_order_id = 0
         self.next_line_id = 0
-        #: Oldest undelivered order per district.
+        #: Oldest undelivered order per district (committed only).
         self.undelivered: dict[int, list[int]] = {}
-        #: o_key -> (district, [ol_keys]) for status/stock-level walks.
+        #: o_key -> [ol_keys] for status/stock-level walks (committed only).
         self.order_lines_of: dict[int, list[int]] = {}
         self.recent_orders: dict[int, list[int]] = {}
-        self.district_locks: dict[int, Resource] = {}
 
 
 def build_tpcc_database(db: Database, scale: TpccScale = TpccScale(), seed: int = 0) -> TpccState:
@@ -199,10 +235,6 @@ def build_tpcc_database(db: Database, scale: TpccScale = TpccScale(), seed: int 
             state.recent_orders[district] = state.recent_orders[district][-25:]
     state.orders = db.create_table("orders", ORDERS, orders)
     state.order_line = db.create_table("order_line", ORDER_LINE, lines)
-    for district in range(scale.districts):
-        state.district_locks[district] = Resource(
-            db.sim, capacity=1, name=f"district.{district}"
-        )
     return state
 
 
@@ -217,102 +249,111 @@ def _pick_item(state: TpccState, rng, config: TpccConfig) -> int:
     return int(rng.integers(0, state.scale.items))
 
 
-def new_order(state: TpccState, rng, config: TpccConfig, district: int) -> ProcessGenerator:
-    db = state.db
-    lock = state.district_locks[district]
-    yield lock.request()
-    try:
-        yield from state.district.clustered.search(district)
-        record = yield from db.wal.log_update("district", district, None, LogRecordKind.UPDATE)
-        yield from state.district.clustered.update_where(
-            district, lambda row: (row[0], row[1] + 1, row[2], row[3]), lsn=record.lsn
+def _row_locks(config: TpccConfig) -> bool:
+    return config.concurrency == "2pl"
+
+
+def new_order(
+    state: TpccState, rng, config: TpccConfig, district: int, txn: Transaction
+) -> ProcessGenerator:
+    row_locks = _row_locks(config)
+    if not row_locks:
+        yield from txn.lock(("district", district), LockMode.EXCLUSIVE)
+    yield from txn.update(
+        state.district, district,
+        lambda row: (row[0], row[1] + 1, row[2], row[3]), lock=row_locks,
+    )
+    o_key = state.next_order_id
+    state.next_order_id += 1
+    customer = district * CUSTOMERS_PER_DISTRICT + int(
+        rng.integers(0, CUSTOMERS_PER_DISTRICT)
+    )
+    yield from txn.insert(state.orders, (o_key, customer, 0, 0, "o"), lock=row_locks)
+    warehouse = district // DISTRICTS_PER_WAREHOUSE
+    ol_keys = []
+    # Stock rows are shared by all districts of the warehouse and are
+    # locked in random item order — the deadlock source under 2PL.
+    for _line in range(int(rng.integers(5, 16))):
+        item = _pick_item(state, rng, config)
+        stock_key = warehouse * state.scale.items + item
+        yield from txn.update(
+            state.stock, stock_key,
+            lambda row: (row[0], max(10, row[1] - 1), row[2] + 1, row[3]),
+            lock=row_locks,
         )
-        o_key = state.next_order_id
-        state.next_order_id += 1
-        customer = district * CUSTOMERS_PER_DISTRICT + int(
-            rng.integers(0, CUSTOMERS_PER_DISTRICT)
-        )
-        yield from state.orders.clustered.insert((o_key, customer, 0, 0, "o"))
-        warehouse = district // DISTRICTS_PER_WAREHOUSE
-        ol_keys = []
-        for _line in range(int(rng.integers(5, 16))):
-            item = _pick_item(state, rng, config)
-            stock_key = warehouse * state.scale.items + item
-            yield from state.stock.clustered.update_where(
-                stock_key,
-                lambda row: (row[0], max(10, row[1] - 1), row[2] + 1, row[3]),
-                lsn=record.lsn,
-            )
-            ol_key = state.next_line_id
-            state.next_line_id += 1
-            yield from state.order_line.clustered.insert(
-                (ol_key, o_key, item, 9.99, "l"), lsn=record.lsn
-            )
-            ol_keys.append(ol_key)
+        ol_key = state.next_line_id
+        state.next_line_id += 1
+        yield from txn.insert(state.order_line, (ol_key, o_key, item, 9.99, "l"),
+                              lock=row_locks)
+        ol_keys.append(ol_key)
+
+    def bookkeep() -> None:
         state.order_lines_of[o_key] = ol_keys
         state.recent_orders[district].append(o_key)
         state.recent_orders[district] = state.recent_orders[district][-25:]
         state.undelivered[district].append(o_key)
-        yield from db.wal.log_update("district", district, None, LogRecordKind.COMMIT)
-    finally:
-        lock.release()
+
+    txn.on_commit(bookkeep)
 
 
-def payment(state: TpccState, rng, config: TpccConfig, district: int) -> ProcessGenerator:
-    db = state.db
-    lock = state.district_locks[district]
-    yield lock.request()
-    try:
-        record = yield from db.wal.log_update("district", district, None, LogRecordKind.UPDATE)
-        warehouse = district // DISTRICTS_PER_WAREHOUSE
-        yield from state.warehouse.clustered.update_where(
-            warehouse, lambda row: (row[0], row[1] + 10.0, row[2]), lsn=record.lsn
-        )
-        yield from state.district.clustered.update_where(
-            district, lambda row: (row[0], row[1], row[2] + 10.0, row[3]), lsn=record.lsn
-        )
-        customer = district * CUSTOMERS_PER_DISTRICT + int(
-            rng.integers(0, CUSTOMERS_PER_DISTRICT)
-        )
-        yield from state.customer.clustered.update_where(
-            customer,
-            lambda row: (row[0], row[1] - 10.0, row[2] + 1, row[3]),
-            lsn=record.lsn,
-        )
-        yield from db.wal.log_update("district", district, None, LogRecordKind.COMMIT)
-    finally:
-        lock.release()
+def payment(
+    state: TpccState, rng, config: TpccConfig, district: int, txn: Transaction
+) -> ProcessGenerator:
+    row_locks = _row_locks(config)
+    if not row_locks:
+        yield from txn.lock(("district", district), LockMode.EXCLUSIVE)
+    warehouse = district // DISTRICTS_PER_WAREHOUSE
+    yield from txn.update(
+        state.warehouse, warehouse,
+        lambda row: (row[0], row[1] + 10.0, row[2]), lock=row_locks,
+    )
+    yield from txn.update(
+        state.district, district,
+        lambda row: (row[0], row[1], row[2] + 10.0, row[3]), lock=row_locks,
+    )
+    customer = district * CUSTOMERS_PER_DISTRICT + int(
+        rng.integers(0, CUSTOMERS_PER_DISTRICT)
+    )
+    yield from txn.update(
+        state.customer, customer,
+        lambda row: (row[0], row[1] - 10.0, row[2] + 1, row[3]), lock=row_locks,
+    )
 
 
-def order_status(state: TpccState, rng, config: TpccConfig, district: int) -> ProcessGenerator:
+def order_status(
+    state: TpccState, rng, config: TpccConfig, district: int, txn: Transaction
+) -> ProcessGenerator:
+    row_locks = _row_locks(config)
     customer = district * CUSTOMERS_PER_DISTRICT + int(rng.integers(0, CUSTOMERS_PER_DISTRICT))
-    yield from state.customer.clustered.search(customer)
+    yield from txn.read(state.customer, customer, lock=row_locks)
     recent = state.recent_orders.get(district) or [0]
     o_key = recent[-1]
-    yield from state.orders.clustered.search(o_key)
+    yield from txn.read(state.orders, o_key, lock=row_locks)
     for ol_key in state.order_lines_of.get(o_key, [])[:5]:
-        yield from state.order_line.clustered.search(ol_key)
+        yield from txn.read(state.order_line, ol_key, lock=row_locks)
 
 
-def delivery(state: TpccState, rng, config: TpccConfig, district: int) -> ProcessGenerator:
-    db = state.db
-    lock = state.district_locks[district]
-    yield lock.request()
-    try:
-        queue = state.undelivered.get(district)
-        if not queue:
-            return
-        o_key = queue.pop(0)
-        record = yield from db.wal.log_update("orders", o_key, None, LogRecordKind.UPDATE)
-        yield from state.orders.clustered.update_where(
-            o_key, lambda row: (row[0], row[1], row[2], 7, row[4]), lsn=record.lsn
-        )
-        yield from db.wal.log_update("orders", o_key, None, LogRecordKind.COMMIT)
-    finally:
-        lock.release()
+def delivery(
+    state: TpccState, rng, config: TpccConfig, district: int, txn: Transaction
+) -> ProcessGenerator:
+    # The district lock (held to commit in both modes) serializes
+    # deliveries per district, so peeking the queue head and popping it
+    # only on commit cannot double-deliver.
+    yield from txn.lock(("district", district), LockMode.EXCLUSIVE)
+    queue = state.undelivered.get(district)
+    if not queue:
+        return
+    o_key = queue[0]
+    yield from txn.update(
+        state.orders, o_key,
+        lambda row: (row[0], row[1], row[2], 7, row[4]), lock=_row_locks(config),
+    )
+    txn.on_commit(lambda: queue.pop(0))
 
 
-def stock_level(state: TpccState, rng, config: TpccConfig, district: int) -> ProcessGenerator:
+def stock_level(
+    state: TpccState, rng, config: TpccConfig, district: int, txn: Transaction
+) -> ProcessGenerator:
     """Threshold check over historical order lines + uniform stock reads.
 
     Walks a window of *old* order lines (the paper: the read-mostly mix
@@ -320,6 +361,7 @@ def stock_level(state: TpccState, rng, config: TpccConfig, district: int) -> Pro
     checks the stock rows of the items found — a working set spanning
     the whole stock and order-line history.
     """
+    row_locks = _row_locks(config)
     warehouse = district // DISTRICTS_PER_WAREHOUSE
     window = 200
     top = max(1, state.next_line_id - window)
@@ -328,11 +370,11 @@ def stock_level(state: TpccState, rng, config: TpccConfig, district: int) -> Pro
     # extension-sized memory covers most of it.
     age = int(rng.exponential(scale=0.12 * state.next_line_id))
     start = max(0, top - 1 - age)
-    lines = yield from state.order_line.clustered.range_scan(start, start + window)
+    lines = yield from txn.scan(state.order_line, start, start + window, lock=row_locks)
     items = {line[2] for line in lines[:60]}
     for item in items:
         stock_key = warehouse * state.scale.items + item
-        yield from state.stock.clustered.search(stock_key)
+        yield from txn.read(state.stock, stock_key, lock=row_locks)
 
 
 _TRANSACTIONS = {
@@ -345,8 +387,17 @@ _TRANSACTIONS = {
 
 
 def run_tpcc(db: Database, state: TpccState, config: TpccConfig) -> TpccReport:
-    """Closed-loop run: ``workers`` sessions each run their share."""
+    """Closed-loop run: ``workers`` sessions each run their share.
+
+    Every transaction goes through ``manager.run`` — deadlock victims
+    and fault-doomed transactions roll back and retry with seeded
+    backoff, so ``report.transactions`` counts *successful* commits of
+    intent while the abort/retry counters expose the churn.
+    """
     sim = db.sim
+    manager = db.transactions()
+    if config.record_history:
+        manager.record_history = True
     rng = np.random.default_rng(config.seed)
     names = list(config.mix)
     weights = np.array([config.mix[name] for name in names], dtype=float)
@@ -354,7 +405,12 @@ def run_tpcc(db: Database, state: TpccState, config: TpccConfig) -> TpccReport:
     total = config.workers * config.transactions_per_worker
     choices = rng.choice(len(names), size=total, p=weights)
     districts = rng.integers(0, state.scale.districts, size=total)
+    if config.hot_district_fraction > 0.0:
+        hot_count = max(1, int(state.scale.districts * config.hot_district_share))
+        hot = rng.random(total) < config.hot_district_fraction
+        districts[hot] = rng.integers(0, hot_count, size=int(hot.sum()))
     report = TpccReport()
+    before = manager.stats()
     start = sim.now
 
     def worker(worker_index: int) -> ProcessGenerator:
@@ -365,7 +421,13 @@ def run_tpcc(db: Database, state: TpccState, config: TpccConfig) -> TpccReport:
             district = int(districts[base + index])
             begin = sim.now
             yield from db.server.cpu.compute(db.query_setup_cpu_us / 3)
-            yield from _TRANSACTIONS[name](state, worker_rng, config, district)
+            body = _TRANSACTIONS[name]
+            yield from manager.run(
+                lambda txn, body=body, district=district: body(
+                    state, worker_rng, config, district, txn
+                ),
+                name=name,
+            )
             report.latency.record(sim.now - begin)
             report.transactions += 1
 
@@ -376,4 +438,11 @@ def run_tpcc(db: Database, state: TpccState, config: TpccConfig) -> TpccReport:
 
     sim.run_until_complete(sim.spawn(waiter()))
     report.elapsed_us = sim.now - start
+    after = manager.stats()
+    report.commits = int(after["commits"] - before["commits"])
+    report.aborts = int(after["aborts"] - before["aborts"])
+    report.deadlocks = int(after["deadlocks_detected"] - before["deadlocks_detected"])
+    report.retries = int(after["retries"] - before["retries"])
+    report.dooms = int(after["dooms"] - before["dooms"])
+    report.lock_wait_us = after["lock_wait_us"] - before["lock_wait_us"]
     return report

@@ -1,0 +1,167 @@
+"""WAL edge cases: batch re-arm, in-order acknowledgement, recovery
+with an uncommitted tail.  Complements ``test_wal_grants_tempdb.py``
+(happy-path group commit) with the cases the transaction layer leans
+on: a durable COMMIT must imply every earlier record is durable, and
+REDO must never resurrect work that never committed.
+"""
+
+from repro.engine.wal import (
+    GROUP_COMMIT_BATCH,
+    LogRecord,
+    LogRecordKind,
+    WriteAheadLog,
+    redo_replay,
+)
+
+
+def data_record(wal, txn_id, key, row=("v",)):
+    return LogRecord(
+        lsn=wal.next_lsn(), kind=LogRecordKind.UPDATE, table="t", key=key,
+        row=row, txn_id=txn_id,
+    )
+
+
+def outcome_record(wal, txn_id, kind):
+    return LogRecord(lsn=wal.next_lsn(), kind=kind, txn_id=txn_id)
+
+
+class TestGroupCommitReArm:
+    def test_backlog_beyond_one_batch_flushes_in_multiple_batches(self, rig):
+        """More pending records than GROUP_COMMIT_BATCH: the flusher must
+        re-arm itself and drain the rest without a new append signal."""
+        wal = WriteAheadLog(rig.db, rig.hdd)
+        total = GROUP_COMMIT_BATCH * 2 + 7
+        for key in range(total - 1):
+            wal.append_nowait(data_record(wal, txn_id=1, key=key))
+        # One awaited append at the very end: when it acknowledges, the
+        # in-order chain guarantees the whole backlog is durable.
+        rig.run(wal.append(outcome_record(wal, 1, LogRecordKind.COMMIT)))
+        assert len(wal.records) == total
+        assert wal.flushes >= 3  # ceil(135 / 64)
+        # Durable image preserves append (LSN) order exactly.
+        lsns = [record.lsn for record in wal.records]
+        assert lsns == sorted(lsns)
+
+    def test_commit_ack_implies_earlier_records_durable(self, rig):
+        wal = WriteAheadLog(rig.db, rig.hdd)
+        for key in range(5):
+            wal.append_nowait(data_record(wal, txn_id=3, key=key))
+        commit = outcome_record(wal, 3, LogRecordKind.COMMIT)
+
+        def committer():
+            yield from wal.append(commit)
+            # At ack time every earlier record must already be in the
+            # durable image — this is what lets transactions await only
+            # their COMMIT.
+            return [record.lsn for record in wal.records]
+
+        durable_lsns = rig.run(committer())
+        assert durable_lsns == sorted(durable_lsns)
+        assert commit.lsn in durable_lsns
+        assert len(durable_lsns) == 6
+
+
+class TestInOrderAcknowledgement:
+    def test_acks_follow_lsn_order_despite_concurrent_flushes(self, rig):
+        """Regression for the out-of-order durability bug: with several
+        flushes in flight on a seeded-random device, a later batch can
+        finish its write first — but acknowledgements must still arrive
+        in LSN order."""
+        wal = WriteAheadLog(rig.db, rig.hdd)
+        ack_order = []
+
+        def committer(key):
+            record = yield from wal.log_update("t", key, None)
+            ack_order.append(record.lsn)
+
+        processes = [rig.sim.spawn(committer(key)) for key in range(60)]
+        for process in processes:
+            rig.sim.run_until_complete(process)
+        assert len(ack_order) == 60
+        assert ack_order == sorted(ack_order)
+        # The scenario is real: multiple batches were actually in flight.
+        assert wal.flushes > 1
+
+
+class TestCheckpointBoundary:
+    def test_records_since_excludes_the_checkpoint_itself(self, rig):
+        wal = WriteAheadLog(rig.db, rig.hdd)
+        rig.run(wal.log_update("t", 1, ("a",)))
+        checkpoint_lsn = rig.run(wal.checkpoint())
+        rig.run(wal.log_update("t", 2, ("b",)))
+        tail = wal.records_since(checkpoint_lsn)
+        assert [record.lsn for record in tail] == [checkpoint_lsn + 1]
+        # Boundary is strict: the record *at* the checkpoint LSN is out,
+        # the one immediately after is in.
+        assert all(record.lsn > checkpoint_lsn for record in tail)
+
+    def test_redo_from_lsn_zero_replays_everything(self, rig):
+        wal = WriteAheadLog(rig.db, rig.hdd)
+        for key in range(4):
+            rig.run(wal.log_update("t", key, (key,)))
+        rig.run(wal.checkpoint())
+        applied = []
+        count = rig.run(redo_replay(rig.db, wal, lambda r: applied.append(r.key), from_lsn=0))
+        assert count == 4
+        assert applied == [0, 1, 2, 3]
+
+
+class TestRecoveryWithUncommittedTail:
+    def drain(self, rig, wal):
+        rig.sim.run(until=rig.sim.now + 1e6)
+
+    def test_uncommitted_transaction_not_replayed(self, rig):
+        wal = WriteAheadLog(rig.db, rig.hdd)
+        wal.append_nowait(outcome_record(wal, 5, LogRecordKind.BEGIN))
+        wal.append_nowait(data_record(wal, txn_id=5, key=1))
+        wal.append_nowait(data_record(wal, txn_id=5, key=2))
+        self.drain(rig, wal)  # durable, but no COMMIT: the txn was in flight
+        assert len(wal.records) == 3
+        applied = []
+        count = rig.run(redo_replay(rig.db, wal, lambda r: applied.append(r.key)))
+        assert count == 0
+        assert applied == []
+
+    def test_aborted_transaction_not_replayed(self, rig):
+        wal = WriteAheadLog(rig.db, rig.hdd)
+        wal.append_nowait(data_record(wal, txn_id=6, key=1))
+        rig.run(wal.append(outcome_record(wal, 6, LogRecordKind.ABORT)))
+        applied = []
+        count = rig.run(redo_replay(rig.db, wal, lambda r: applied.append(r.key)))
+        assert count == 0
+        assert wal.aborted_txn_ids() == {6}
+
+    def test_committed_transaction_replayed_autocommit_unconditional(self, rig):
+        wal = WriteAheadLog(rig.db, rig.hdd)
+        # Committed txn 7, uncommitted txn 8, legacy autocommit (txn 0).
+        wal.append_nowait(data_record(wal, txn_id=7, key=1))
+        rig.run(wal.append(outcome_record(wal, 7, LogRecordKind.COMMIT)))
+        wal.append_nowait(data_record(wal, txn_id=8, key=2))
+        rig.run(wal.log_update("t", 3, ("legacy",)))
+        applied = []
+        count = rig.run(redo_replay(rig.db, wal, lambda r: applied.append((r.txn_id, r.key))))
+        assert count == 2
+        assert applied == [(7, 1), (0, 3)]
+        assert wal.committed_txn_ids() == {7}
+
+    def test_commit_lookup_spans_the_whole_log_not_just_the_tail(self, rig):
+        """A transaction may straddle the REDO start point: its COMMIT
+        before ``from_lsn`` must still qualify tail records."""
+        wal = WriteAheadLog(rig.db, rig.hdd)
+        rig.run(wal.append(outcome_record(wal, 9, LogRecordKind.COMMIT)))
+        boundary = wal.records[-1].lsn
+        wal.append_nowait(data_record(wal, txn_id=9, key=4))
+        self.drain(rig, wal)
+        applied = []
+        count = rig.run(
+            redo_replay(rig.db, wal, lambda r: applied.append(r.key), from_lsn=boundary)
+        )
+        assert count == 1
+        assert applied == [4]
+
+    def test_replay_off_switch_applies_uncommitted(self, rig):
+        wal = WriteAheadLog(rig.db, rig.hdd)
+        wal.append_nowait(data_record(wal, txn_id=5, key=1))
+        self.drain(rig, wal)
+        count = rig.run(redo_replay(rig.db, wal, lambda r: None, committed_only=False))
+        assert count == 1

@@ -1,0 +1,54 @@
+"""Transactional fleet tenants: txn.* telemetry and report plumbing."""
+
+from repro.fleet import FleetSpec, TenantSpec, build_fleet, run_fleet
+
+
+def txn_fleet_spec() -> FleetSpec:
+    return FleetSpec(
+        name="txn-test",
+        memory_servers=2,
+        tenants=(
+            TenantSpec(name="oltp", replicas=1, ext_pages=512, bp_pages=48,
+                       peak_queries_per_epoch=30, n_rows=2000, workers=4,
+                       range_size=20, update_fraction=0.5, transactional=True),
+            TenantSpec(name="scan", replicas=1, ext_pages=512, bp_pages=48,
+                       peak_queries_per_epoch=30, n_rows=2000, workers=4),
+        ),
+    )
+
+
+class TestTransactionalTenants:
+    def test_txn_counters_exposed_per_tenant(self):
+        setup = build_fleet(txn_fleet_spec())
+        run_fleet(setup, epochs=2, epoch_us=1e6)
+        flat = setup.metrics.flat()
+        assert flat["fleet.tenant.oltp.txn.begins"] > 0
+        assert flat["fleet.tenant.oltp.txn.commits"] > 0
+        assert flat["fleet.tenant.oltp.txn.exhausted"] == 0.0
+        # The non-transactional tenant's gauges exist and read zero.
+        assert flat["fleet.tenant.scan.txn.begins"] == 0.0
+        assert flat["fleet.tenant.scan.txn.commits"] == 0.0
+
+    def test_report_carries_txn_stats_only_for_transactional_tenants(self):
+        setup = build_fleet(txn_fleet_spec())
+        report = run_fleet(setup, epochs=2, epoch_us=1e6).as_dict()
+        oltp = report["tenants"]["oltp"]
+        assert oltp["txn"]["commits"] > 0
+        assert oltp["txn"]["commits"] == oltp["txn"]["begins"] - oltp["txn"]["aborts"]
+        assert "txn" not in report["tenants"]["scan"]
+
+    def test_transactional_run_is_deterministic(self):
+        reports = [
+            run_fleet(build_fleet(txn_fleet_spec()), epochs=2, epoch_us=1e6).as_dict()
+            for _ in range(2)
+        ]
+        assert reports[0] == reports[1]
+
+    def test_locks_idle_after_run(self):
+        setup = build_fleet(txn_fleet_spec())
+        run_fleet(setup, epochs=2, epoch_us=1e6)
+        for replica in setup.tenants["oltp"].replicas:
+            manager = replica.database._txn_manager
+            assert manager is not None
+            assert manager.locks.idle
+            assert manager.active_count == 0

@@ -1,0 +1,26 @@
+"""Shared fixture: a small CUSTOM-design database with a Customer table."""
+
+import pytest
+
+from repro.harness import Design, build_database
+from repro.workloads import build_customer_table
+
+N_ROWS = 2_000
+
+
+class TxnRig:
+    def __init__(self):
+        self.setup = build_database(
+            Design.CUSTOM, bp_pages=128, bpext_pages=512, tempdb_pages=64
+        )
+        self.db = self.setup.database
+        self.sim = self.db.sim
+        self.table = build_customer_table(self.db, n_rows=N_ROWS)
+
+    def run(self, generator):
+        return self.sim.run_until_complete(self.sim.spawn(generator))
+
+
+@pytest.fixture
+def txn_rig():
+    return TxnRig()

@@ -1,0 +1,269 @@
+"""Lock manager: modes, FIFO grants, upgrades, deadlock detection."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.txn import DeadlockAbort, LockManager, LockMode
+
+S = LockMode.SHARED
+X = LockMode.EXCLUSIVE
+
+
+def drive(sim, gen):
+    return sim.run_until_complete(sim.spawn(gen))
+
+
+class TestModes:
+    def test_shared_locks_coexist(self):
+        sim = Simulator()
+        locks = LockManager(sim)
+
+        def both():
+            yield from locks.acquire(1, "r", S)
+            yield from locks.acquire(2, "r", S)
+            return locks.holders_of("r")
+
+        holders = drive(sim, both())
+        assert holders == {1: S, 2: S}
+        assert locks.waits == 0
+
+    def test_exclusive_excludes(self):
+        sim = Simulator()
+        locks = LockManager(sim)
+        order = []
+
+        def holder():
+            yield from locks.acquire(1, "r", X)
+            order.append("held")
+            yield sim.timeout(10)
+            locks.release_all(1)
+
+        def waiter():
+            yield sim.timeout(1)
+            yield from locks.acquire(2, "r", S)
+            order.append("granted")
+
+        sim.spawn(holder())
+        drive(sim, waiter())
+        assert order == ["held", "granted"]
+        assert locks.waits == 1
+        assert locks.lock_wait_us == pytest.approx(9.0)
+
+    def test_reentrant_acquire_is_noop(self):
+        sim = Simulator()
+        locks = LockManager(sim)
+
+        def body():
+            yield from locks.acquire(1, "r", X)
+            yield from locks.acquire(1, "r", X)
+            yield from locks.acquire(1, "r", S)  # weaker: still a no-op
+
+        drive(sim, body())
+        assert locks.holders_of("r") == {1: X}
+        assert locks.waits == 0
+
+    def test_release_all_leaves_table_idle(self):
+        sim = Simulator()
+        locks = LockManager(sim)
+
+        def body():
+            yield from locks.acquire(1, "a", S)
+            yield from locks.acquire(1, "b", X)
+            locks.release_all(1)
+
+        drive(sim, body())
+        assert locks.idle
+
+    def test_s_batch_granted_together(self):
+        """Consecutive S waiters behind an X are granted as one batch."""
+        sim = Simulator()
+        locks = LockManager(sim)
+        granted_at = {}
+
+        def holder():
+            yield from locks.acquire(1, "r", X)
+            yield sim.timeout(50)
+            locks.release_all(1)
+
+        def reader(txn_id):
+            yield sim.timeout(txn_id)  # arrive at distinct times, in order
+            yield from locks.acquire(txn_id, "r", S)
+            granted_at[txn_id] = sim.now
+
+        sim.spawn(holder())
+        readers = [sim.spawn(reader(txn_id)) for txn_id in (2, 3, 4)]
+        for process in readers:
+            sim.run_until_complete(process)
+        assert granted_at == {2: 50.0, 3: 50.0, 4: 50.0}
+
+
+class TestUpgrades:
+    def test_sole_holder_upgrades_inline(self):
+        sim = Simulator()
+        locks = LockManager(sim)
+
+        def body():
+            yield from locks.acquire(1, "r", S)
+            yield from locks.acquire(1, "r", X)
+
+        drive(sim, body())
+        assert locks.holders_of("r") == {1: X}
+        assert locks.upgrades == 1
+        assert locks.waits == 0
+
+    def test_upgrade_waits_for_other_readers_and_jumps_queue(self):
+        sim = Simulator()
+        locks = LockManager(sim)
+        order = []
+
+        def other_reader():
+            yield from locks.acquire(2, "r", S)
+            yield sim.timeout(30)
+            locks.release_all(2)
+
+        def upgrader():
+            yield from locks.acquire(1, "r", S)
+            yield sim.timeout(1)
+            yield from locks.acquire(1, "r", X)  # waits for txn 2 only
+            order.append(("upgrade", sim.now))
+            yield sim.timeout(5)
+            locks.release_all(1)
+
+        def late_writer():
+            yield sim.timeout(2)
+            yield from locks.acquire(3, "r", X)  # queued behind the upgrade
+            order.append(("late", sim.now))
+            locks.release_all(3)
+
+        sim.spawn(other_reader())
+        sim.spawn(upgrader())
+        drive(sim, late_writer())
+        assert order == [("upgrade", 30.0), ("late", 35.0)]
+
+
+class TestDeadlock:
+    def test_two_txn_cycle_aborts_youngest(self):
+        sim = Simulator()
+        locks = LockManager(sim)
+        outcome = {}
+
+        def t1():
+            yield from locks.acquire(1, "a", X)
+            yield sim.timeout(5)
+            yield from locks.acquire(1, "b", X)
+            outcome[1] = "done"
+            locks.release_all(1)
+
+        def t2():
+            yield from locks.acquire(2, "b", X)
+            yield sim.timeout(5)
+            try:
+                yield from locks.acquire(2, "a", X)
+            except DeadlockAbort as abort:
+                outcome[2] = abort
+                locks.release_all(2)
+
+        survivor = sim.spawn(t1())
+        drive(sim, t2())
+        sim.run_until_complete(survivor)
+        # Txn 2 (highest id in the cycle) is the victim — and because it
+        # closed the cycle, the abort raised synchronously at its own call.
+        assert isinstance(outcome[2], DeadlockAbort)
+        assert outcome[2].txn_id == 2
+        assert sorted(outcome[2].cycle) == [1, 2]
+        assert outcome[1] == "done"
+        assert locks.deadlocks == 1
+        assert locks.idle
+
+    def test_victim_can_be_a_parked_waiter(self):
+        """When the cycle-closing requester is older, the parked younger
+        transaction gets the abort thrown at its wait site."""
+        sim = Simulator()
+        locks = LockManager(sim)
+        outcome = {}
+
+        def young():
+            yield from locks.acquire(9, "b", X)
+            yield sim.timeout(1)
+            try:
+                yield from locks.acquire(9, "a", X)  # parks behind txn 1
+            except DeadlockAbort as abort:
+                outcome[9] = abort
+                locks.release_all(9)
+
+        def old():
+            yield from locks.acquire(1, "a", X)
+            yield sim.timeout(5)
+            yield from locks.acquire(1, "b", X)  # closes the cycle; 9 dies
+            outcome[1] = "done"
+            locks.release_all(1)
+
+        sim.spawn(young())
+        drive(sim, old())
+        assert outcome[9].txn_id == 9
+        assert outcome[1] == "done"
+        assert locks.idle
+
+    def test_three_txn_cycle(self):
+        sim = Simulator()
+        locks = LockManager(sim)
+        aborted = []
+
+        def txn(txn_id, first, second):
+            yield from locks.acquire(txn_id, first, X)
+            yield sim.timeout(5)
+            try:
+                yield from locks.acquire(txn_id, second, X)
+                yield sim.timeout(1)
+            except DeadlockAbort:
+                aborted.append(txn_id)
+            locks.release_all(txn_id)
+
+        processes = [
+            sim.spawn(txn(1, "a", "b")),
+            sim.spawn(txn(2, "b", "c")),
+            sim.spawn(txn(3, "c", "a")),
+        ]
+        for process in processes:
+            sim.run_until_complete(process)
+        assert aborted == [3]  # youngest in the cycle, deterministically
+        assert locks.idle
+
+    def test_no_false_deadlock_on_plain_contention(self):
+        sim = Simulator()
+        locks = LockManager(sim)
+
+        def holder():
+            yield from locks.acquire(1, "r", X)
+            yield sim.timeout(20)
+            locks.release_all(1)
+
+        def waiter():
+            yield sim.timeout(1)
+            yield from locks.acquire(2, "r", X)
+            locks.release_all(2)
+
+        sim.spawn(holder())
+        drive(sim, waiter())
+        assert locks.deadlocks == 0
+        assert locks.idle
+
+    def test_wait_for_edges_snapshot(self):
+        sim = Simulator()
+        locks = LockManager(sim)
+        seen = {}
+
+        def holder():
+            yield from locks.acquire(1, "r", X)
+            yield sim.timeout(10)
+            seen.update(locks.wait_for_edges())
+            locks.release_all(1)
+
+        def waiter():
+            yield sim.timeout(1)
+            yield from locks.acquire(2, "r", S)
+            locks.release_all(2)
+
+        sim.spawn(holder())
+        drive(sim, waiter())
+        assert seen == {2: {1}}
