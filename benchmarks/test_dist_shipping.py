@@ -1,0 +1,169 @@
+"""Distributed shipping axis: page vs query vs hybrid on identical hardware.
+
+Two TPC-H-derived joins run under all three placement strategies
+(:class:`repro.dist.Strategy`) on two cluster sizes.  The hardware is
+identical in every cell — same servers, NICs, devices — only data
+placement differs: page shipping pulls 8K pages from remote memory into
+DB server 0, query shipping shuffles tuples between co-located shards,
+and the hybrid (NAM-style) does both.  A final pair of cells turns on
+Bloom-filter semi-join pushdown and demands fewer shuffled bytes for
+the same answer.
+
+Everything runs in virtual time, so the recorded numbers are exact:
+``BENCH_dist.json`` is a golden (like ``BENCH_fleet.json``), and drift
+means exchange/planner behavior changed and needs a deliberate
+refresh::
+
+    REPRO_UPDATE_BENCH=1 PYTHONPATH=src \\
+        python -m pytest benchmarks/test_dist_shipping.py -o testpaths=
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import replace
+from pathlib import Path
+
+from repro.dist import DistQuery, DistSpec, Strategy, build_strategy, execute_query
+from repro.harness import format_table
+from repro.workloads import TpchScale
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_dist.json"
+UPDATE = os.environ.get("REPRO_UPDATE_BENCH", "") == "1"
+
+SCALE = TpchScale(orders=400, lines_per_order=2, customers=100, parts=80, suppliers=20)
+CLUSTER_SIZES = (2, 4)
+STRATEGIES = (Strategy.PAGE, Strategy.QUERY, Strategy.HYBRID)
+TOTAL_EXT_PAGES = 1024
+SEED = 9
+
+#: Both queries project the probe table's primary key, so projected
+#: tuples are unique and the full-tuple top-N is a total order — the
+#: row-identity assertion across strategies is exact, not approximate.
+QUERIES = {
+    "cust_orders": DistQuery(
+        name="cust_orders",
+        build_table="customer", build_key="custkey",
+        probe_table="orders", probe_key="custkey",
+        build_filter=("acctbal", "<", 60.0),
+        probe_filter=("orderdate", "<", 2000),
+        projection=(("build", "custkey"), ("build", "acctbal"),
+                    ("probe", "orderkey"), ("probe", "totalprice")),
+        top_n=300,
+    ),
+    "order_lines": DistQuery(
+        name="order_lines",
+        build_table="orders", build_key="orderkey",
+        probe_table="lineitem", probe_key="orderkey",
+        build_filter=("orderdate", "<", 1200),
+        projection=(("build", "orderkey"), ("build", "totalprice"),
+                    ("probe", "linekey"), ("probe", "quantity")),
+        top_n=300,
+    ),
+}
+
+
+def _spec(n: int) -> DistSpec:
+    return DistSpec(
+        name="bench", db_servers=n, bp_pages=160, tempdb_pages=256,
+        data_spindles=2, db_cores=4, seed=SEED,
+    )
+
+
+def _digest(rows: list) -> int:
+    return zlib.crc32(repr(rows).encode())
+
+
+def run_cell(query: DistQuery, n: int, strategy: Strategy) -> dict:
+    setup = build_strategy(
+        strategy, _spec(n), total_ext_pages=TOTAL_EXT_PAGES,
+        scale=SCALE, seed=SEED,
+    )
+    result = execute_query(setup, query)
+    return {
+        "strategy": result.strategy,
+        "rows": len(result.rows),
+        "rows_crc": _digest(result.rows),
+        "elapsed_us": round(result.elapsed_us, 3),
+        "sim_now_us": round(setup.sim.now, 3),
+        **result.metrics,
+    }
+
+
+def measure() -> dict:
+    cells: dict[str, dict] = {}
+    rows = []
+    for name, query in QUERIES.items():
+        for n in CLUSTER_SIZES:
+            for strategy in STRATEGIES:
+                cell = run_cell(query, n, strategy)
+                cells[f"{name}/{n}/{strategy.value}"] = cell
+                rows.append([
+                    name, n, strategy.value, cell["rows"],
+                    cell["elapsed_us"], cell["exchange_bytes"],
+                ])
+    # Semi-join pushdown: same query, same placement, Bloom filter
+    # shipped ahead of the shuffle.
+    semi = replace(QUERIES["cust_orders"], semijoin=True)
+    cells["cust_orders/2/query+semijoin"] = run_cell(semi, 2, Strategy.QUERY)
+    print()
+    print(format_table(
+        ["query", "servers", "strategy", "rows", "elapsed (us)",
+         "exchange bytes"],
+        rows, title="Page vs query vs hybrid shipping on identical hardware",
+    ))
+    plain = cells["cust_orders/2/query"]
+    pushed = cells["cust_orders/2/query+semijoin"]
+    print(
+        f"semi-join pushdown: {plain['exchange_bytes']} -> "
+        f"{pushed['exchange_bytes']} shuffled bytes "
+        f"({pushed['bloom_filtered_rows']} probe rows filtered)"
+    )
+    return cells
+
+
+def test_dist_shipping_axis(once):
+    cells = once(measure)
+
+    for name in QUERIES:
+        for n in CLUSTER_SIZES:
+            page = cells[f"{name}/{n}/page"]
+            query = cells[f"{name}/{n}/query"]
+            hybrid = cells[f"{name}/{n}/hybrid"]
+            # All three strategies agree row-for-row (crc over the exact
+            # projected tuples), and actually returned data.
+            assert page["rows"] == query["rows"] == hybrid["rows"] > 0, name
+            assert page["rows_crc"] == query["rows_crc"] == hybrid["rows_crc"], name
+            # Placement shows up in the metrics: page shipping never
+            # touches the exchange fabric, the distributed strategies do.
+            assert page["exchange_bytes"] == 0, name
+            assert query["exchange_bytes"] > 0, name
+            assert hybrid["exchange_bytes"] > 0, name
+        # More servers shuffle at least as many tuples (fewer self-ships).
+        assert (
+            cells[f"{name}/4/query"]["exchange_rows"]
+            >= cells[f"{name}/2/query"]["exchange_rows"]
+        ), name
+
+    # Semi-join pushdown measurably cuts shuffled bytes, same answer.
+    plain = cells["cust_orders/2/query"]
+    pushed = cells["cust_orders/2/query+semijoin"]
+    assert pushed["rows_crc"] == plain["rows_crc"]
+    assert pushed["bloom_filtered_rows"] > 0
+    assert pushed["exchange_bytes"] < plain["exchange_bytes"]
+
+    if UPDATE or not BENCH_PATH.exists():
+        BENCH_PATH.write_text(json.dumps({
+            "description": "page vs query vs hybrid shipping: 2 TPC-H joins "
+                           "x 2 cluster sizes x 3 strategies + semi-join "
+                           "pushdown; virtual-time exact golden",
+            "results": cells,
+        }, indent=2) + "\n")
+        return
+    recorded = json.loads(BENCH_PATH.read_text())["results"]
+    assert cells == recorded, (
+        "distributed shipping benchmark drifted from BENCH_dist.json — if "
+        "the change is deliberate, refresh with REPRO_UPDATE_BENCH=1"
+    )

@@ -105,7 +105,10 @@ class MemoryProxy:
                 region = yield from self.broker.withdraw_region(self.server.name)
                 if region is None:
                     break
-            yield from self.registrar.deregister(region)
+            # Revocation legitimately races in-flight reads from lease
+            # holders: doom them (they fail with RdmaError on resume)
+            # rather than let them touch freed memory.
+            yield from self.registrar.deregister(region, force=True)
             self.offered.remove(region)
             reclaimed += region.size
         return reclaimed

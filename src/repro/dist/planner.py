@@ -1,0 +1,336 @@
+"""Compile one join query into page-, query- and hybrid-shipping plans.
+
+The three strategies run on *identical virtual hardware* (same servers,
+devices, NICs — a :class:`~repro.dist.partition.DistSpec`); only data
+placement differs:
+
+* **page** — today's baseline: the whole database lives on DB server 0,
+  whose buffer-pool extension spans the remote-memory servers; queries
+  run single-fragment and pull *pages* over RDMA on faults.
+* **query** — partitioned execution: every server owns a shard in its
+  local buffer pool, plans run as N fragments that shuffle *tuples*
+  over the exchange fabric (the aggregate-DRAM scale-out of "The End
+  of Slow Networks").
+* **hybrid** — NAM-style compute/memory split: shards are partitioned
+  *and* each shard's pages live in remote memory, so fragments fault
+  pages from the memory servers and still exchange tuples.
+
+Queries are declarative (:class:`DistQuery`): one equi-join with
+per-table filters, a projection, and a top-N over the **full projected
+tuple** — a canonical total order (the projection includes the probe
+primary key), so all three strategies must return row-identical
+results, which the benchmark asserts.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any, Optional
+
+from ..engine import ExternalSort, HashJoin, Operator, TableScan
+from ..sim.kernel import AllOf
+from ..storage import MB
+from ..workloads import TPCH_SCHEMAS, TpchScale
+from .exchange import GatherExchange, ShuffleExchange
+from .partition import (
+    TPCH_PARTITIONING,
+    DistSetup,
+    DistSpec,
+    build_dist,
+    load_tpch_partitioned,
+    load_tpch_single,
+    prewarm_dist,
+)
+from .semijoin import BloomBuild, FilterSlot
+
+__all__ = [
+    "Strategy",
+    "DistQuery",
+    "StrategyResult",
+    "compile_single",
+    "compile_fragments",
+    "build_strategy",
+    "execute_query",
+]
+
+_OPS = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "==": operator.eq,
+}
+
+
+class Strategy(str, Enum):
+    PAGE = "page"
+    QUERY = "query"
+    HYBRID = "hybrid"
+
+
+@dataclass(frozen=True)
+class DistQuery:
+    """One equi-join query, declarative enough to compile three ways.
+
+    ``projection`` entries are ``(side, column)`` with side ``build`` or
+    ``probe``; include the probe table's primary key so the projected
+    tuples are unique and full-tuple ordering is total.
+    """
+
+    name: str
+    build_table: str
+    build_key: str
+    probe_table: str
+    probe_key: str
+    projection: tuple
+    build_filter: Optional[tuple] = None  # (column, op, value)
+    probe_filter: Optional[tuple] = None
+    top_n: int = 1000
+    semijoin: bool = False
+    bloom_bits: int = 1 << 15
+    memory_bytes: int = 8 * MB
+
+
+@dataclass
+class StrategyResult:
+    """One strategy's execution of one query on one topology."""
+
+    strategy: str
+    query: str
+    rows: list
+    elapsed_us: float
+    metrics: dict = field(default_factory=dict)
+
+
+def _predicate(schema, condition: Optional[tuple]):
+    if condition is None:
+        return None
+    column, op, value = condition
+    index = schema.index_of(column)
+    compare = _OPS[op]
+    return lambda row: compare(row[index], value)
+
+
+def _projector(query: DistQuery, schemas):
+    build = schemas[query.build_table]
+    probe = schemas[query.probe_table]
+    slots = tuple(
+        (0, build.index_of(column)) if side == "build" else (1, probe.index_of(column))
+        for side, column in query.projection
+    )
+
+    def combine(build_row, probe_row):
+        sides = (build_row, probe_row)
+        return tuple(sides[which][index] for which, index in slots)
+
+    return combine
+
+
+def _keys(query: DistQuery, schemas):
+    build_index = schemas[query.build_table].index_of(query.build_key)
+    probe_index = schemas[query.probe_table].index_of(query.probe_key)
+    return (lambda row: row[build_index]), (lambda row: row[probe_index])
+
+
+def compile_single(query: DistQuery, tables: dict, schemas=None) -> Operator:
+    """The page-shipping plan: ordinary single-node join + top-N."""
+    schemas = schemas or TPCH_SCHEMAS
+    build_key, probe_key = _keys(query, schemas)
+    join = HashJoin(
+        build=TableScan(
+            tables[query.build_table],
+            predicate=_predicate(schemas[query.build_table], query.build_filter),
+        ),
+        probe=TableScan(
+            tables[query.probe_table],
+            predicate=_predicate(schemas[query.probe_table], query.probe_filter),
+        ),
+        build_key=build_key,
+        probe_key=probe_key,
+        combine=_projector(query, schemas),
+    )
+    return ExternalSort(join, key=lambda row: row, top_n=query.top_n)
+
+
+def compile_fragments(
+    query: DistQuery, setup: DistSetup, tag: str = "run", schemas=None
+) -> list[Operator]:
+    """One plan per fragment: co-located build, shuffled probe, gather.
+
+    The probe side shuffles each row to the fragment owning its join
+    partner — routed by the *build table's* partition spec, which must
+    therefore be partitioned on the join key.  Exchange ids embed
+    ``tag`` so repeated runs (warm-up vs measured) keep separate
+    cumulative stats.
+    """
+    schemas = schemas or TPCH_SCHEMAS
+    if setup.partitioning is None:
+        raise ValueError("setup holds unpartitioned data; use compile_single")
+    spec = setup.partitioning[query.build_table]
+    if spec.key != query.build_key:
+        raise ValueError(
+            f"co-located join needs {query.build_table!r} partitioned on"
+            f" {query.build_key!r}, not {spec.key!r}"
+        )
+    build_key, probe_key = _keys(query, schemas)
+    combine = _projector(query, schemas)
+    runtime = setup.runtime
+    shuffle_id = f"{query.name}.{tag}.shuffle"
+    gather_id = f"{query.name}.{tag}.gather"
+    bloom_id = f"{query.name}.{tag}.bloom"
+    # Eager declaration: telemetry binders see the ids before the run.
+    runtime.stat(shuffle_id)
+    runtime.stat(gather_id)
+    if query.semijoin:
+        runtime.stat(bloom_id)
+
+    plans: list[Operator] = []
+    for tables in setup.tables:
+        build_scan = TableScan(
+            tables[query.build_table],
+            predicate=_predicate(schemas[query.build_table], query.build_filter),
+        )
+        slot = None
+        build_op: Operator = build_scan
+        if query.semijoin:
+            slot = FilterSlot()
+            build_op = BloomBuild(
+                build_scan, key=build_key, runtime=runtime,
+                exchange_id=bloom_id, slot=slot, n_bits=query.bloom_bits,
+            )
+        shuffle = ShuffleExchange(
+            TableScan(
+                tables[query.probe_table],
+                predicate=_predicate(schemas[query.probe_table], query.probe_filter),
+            ),
+            key=probe_key,
+            runtime=runtime,
+            exchange_id=shuffle_id,
+            owner=spec.owner,
+            filter_slot=slot,
+        )
+        join = HashJoin(
+            build=build_op, probe=shuffle,
+            build_key=build_key, probe_key=probe_key, combine=combine,
+        )
+        gather = GatherExchange(join, runtime=runtime, exchange_id=gather_id, root=0)
+        plans.append(ExternalSort(gather, key=lambda row: row, top_n=query.top_n))
+    return plans
+
+
+# ---------------------------------------------------------------------------
+# Strategy topologies
+# ---------------------------------------------------------------------------
+
+
+def build_strategy(
+    strategy: Strategy,
+    spec: DistSpec,
+    total_ext_pages: int,
+    scale: TpchScale = TpchScale(),
+    partitioning=None,
+    seed: int = 0,
+) -> DistSetup:
+    """Build + load + warm one strategy's placement of one topology.
+
+    All three strategies share ``spec``'s hardware; only ``ext_pages``
+    (where remote memory attaches) and data placement differ.
+    """
+    strategy = Strategy(strategy)
+    n = spec.db_servers
+    if strategy is Strategy.PAGE:
+        ext = (total_ext_pages,) + (0,) * (n - 1)
+    elif strategy is Strategy.HYBRID:
+        ext = (math.ceil(total_ext_pages / n),) * n
+    else:
+        ext = (0,) * n
+    setup = build_dist(
+        replace(spec, name=f"{spec.name}.{strategy.value}", ext_pages=ext)
+    )
+    if strategy is Strategy.PAGE:
+        load_tpch_single(setup, scale, seed)
+    else:
+        load_tpch_partitioned(setup, partitioning or TPCH_PARTITIONING, scale, seed)
+    prewarm_dist(setup)
+    return setup
+
+
+def _metrics_dict(metrics) -> dict:
+    return {
+        "rows_out": metrics.rows_out,
+        "spilled_runs": metrics.spilled_runs,
+        "spilled_bytes": metrics.spilled_bytes,
+        "exchange_batches": metrics.exchange_batches,
+        "exchange_rows": metrics.exchange_rows,
+        "exchange_bytes": metrics.exchange_bytes,
+        "credit_stalls_us": round(metrics.credit_stalls_us, 3),
+        "bloom_filtered_rows": metrics.bloom_filtered_rows,
+    }
+
+
+def _sum_metrics(parts: list[dict]) -> dict:
+    total: dict[str, Any] = {}
+    for part in parts:
+        for key, value in part.items():
+            total[key] = total.get(key, 0) + value
+    if "credit_stalls_us" in total:
+        total["credit_stalls_us"] = round(total["credit_stalls_us"], 3)
+    return total
+
+
+def execute_query(
+    setup: DistSetup, query: DistQuery, tag: str = "run", schemas=None
+) -> StrategyResult:
+    """Run one query on one strategy setup; returns rows + metrics.
+
+    Unpartitioned setups (page shipping) run the single-node plan on DB
+    server 0; partitioned setups spawn one fragment per server and wait
+    for all of them — the root fragment's rows are the query result.
+    """
+    sim = setup.sim
+    start = sim.now
+    if setup.partitioning is None:
+        plan = compile_single(query, setup.tables[0], schemas)
+        result = setup.run(
+            setup.databases[0].execute(
+                plan, requested_memory_bytes=query.memory_bytes, memory_consumers=2
+            )
+        )
+        return StrategyResult(
+            strategy=Strategy.PAGE.value, query=query.name,
+            rows=result.rows, elapsed_us=sim.now - start,
+            metrics=_metrics_dict(result.metrics),
+        )
+
+    plans = compile_fragments(query, setup, tag, schemas)
+    fragments = len(plans)
+    results: list = [None] * fragments
+
+    def fragment(index: int, plan: Operator):
+        results[index] = yield from setup.databases[index].execute(
+            plan,
+            requested_memory_bytes=query.memory_bytes,
+            memory_consumers=2,
+            fragment_index=index,
+            fragments=fragments,
+        )
+
+    processes = [sim.spawn(fragment(i, plan)) for i, plan in enumerate(plans)]
+
+    def waiter():
+        yield AllOf(sim, processes)
+
+    setup.run(waiter())
+    strategy = (
+        Strategy.HYBRID.value
+        if any(db.pool.extension is not None for db in setup.databases)
+        else Strategy.QUERY.value
+    )
+    return StrategyResult(
+        strategy=strategy, query=query.name,
+        rows=results[0].rows, elapsed_us=sim.now - start,
+        metrics=_sum_metrics([_metrics_dict(r.metrics) for r in results]),
+    )

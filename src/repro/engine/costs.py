@@ -15,6 +15,9 @@ __all__ = [
     "PER_ROW_AGG_CPU_US",
     "SORT_COMPARE_CPU_US",
     "PER_ROW_OUTPUT_CPU_US",
+    "PER_ROW_SERIALIZE_CPU_US",
+    "PER_ROW_DESERIALIZE_CPU_US",
+    "EXCHANGE_BATCH_CPU_US",
 ]
 
 #: Fixed per-query engine overhead: parse, plan-cache lookup, session
@@ -34,3 +37,11 @@ PER_ROW_AGG_CPU_US = 0.12
 SORT_COMPARE_CPU_US = 0.08
 #: Producing one output row.
 PER_ROW_OUTPUT_CPU_US = 0.1
+
+# -- distributed exchange (repro.dist) --------------------------------------
+#: Packing one row into an exchange batch (copy + wire framing).
+PER_ROW_SERIALIZE_CPU_US = 0.15
+#: Unpacking one row from a landed exchange batch.
+PER_ROW_DESERIALIZE_CPU_US = 0.1
+#: Fixed cost per batch on each side (work-request setup, batch header).
+EXCHANGE_BATCH_CPU_US = 2.0

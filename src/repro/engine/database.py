@@ -186,8 +186,15 @@ class Database:
         plan: Operator,
         requested_memory_bytes: int = 0,
         memory_consumers: int = 1,
+        fragment_index: int = 0,
+        fragments: int = 1,
     ) -> ProcessGenerator:
-        """Run an operator tree; returns a :class:`QueryResult`."""
+        """Run an operator tree; returns a :class:`QueryResult`.
+
+        Distributed plans (repro.dist) run one fragment per DB server;
+        ``fragment_index``/``fragments`` flow into the ExecContext so
+        exchange operators know their position in the topology.
+        """
         start = self.sim.now
         with self.sim.tracer.span(
             "query", cat="query", plan=type(plan).__name__,
@@ -195,7 +202,10 @@ class Database:
         ):
             yield from self.server.cpu.compute(self.query_setup_cpu_us)
             grant = yield from self.grants.acquire(max(1, requested_memory_bytes))
-            ctx = ExecContext(db=self, grant=grant, memory_consumers=memory_consumers)
+            ctx = ExecContext(
+                db=self, grant=grant, memory_consumers=memory_consumers,
+                fragment_index=fragment_index, fragments=fragments,
+            )
             try:
                 rows = yield from plan.run(ctx)
             finally:

@@ -49,6 +49,13 @@ class ExecMetrics:
     spilled_bytes: int = 0
     tempdb_reads: int = 0
     tempdb_writes: int = 0
+    # Exchange-awareness (repro.dist): data this fragment moved between
+    # servers, and time it spent stalled waiting for receiver credits.
+    exchange_batches: int = 0
+    exchange_rows: int = 0
+    exchange_bytes: int = 0
+    credit_stalls_us: float = 0.0
+    bloom_filtered_rows: int = 0
 
 
 @dataclass
@@ -60,6 +67,11 @@ class ExecContext:
     #: How many memory-consuming operators share the grant.
     memory_consumers: int = 1
     metrics: ExecMetrics = field(default_factory=ExecMetrics)
+    #: Which fragment of a distributed plan this is (0-based) and how
+    #: many fragments the plan has.  Single-node execution is fragment
+    #: 0 of 1; exchange operators use these to route batches.
+    fragment_index: int = 0
+    fragments: int = 1
 
     @property
     def cpu(self):
@@ -68,6 +80,11 @@ class ExecContext:
     @property
     def operator_budget_bytes(self) -> int:
         return max(1, self.grant.granted_bytes // max(1, self.memory_consumers))
+
+    def record_exchange(self, rows: int, nbytes: int, batches: int = 1) -> None:
+        self.metrics.exchange_batches += batches
+        self.metrics.exchange_rows += rows
+        self.metrics.exchange_bytes += nbytes
 
 
 def _traced_run(run):

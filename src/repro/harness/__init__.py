@@ -1,6 +1,14 @@
 """Experiment harness: Table-5 designs, cluster builders, reporting."""
 
-from .dbbench import DbSetup, build_database, prewarm_extension, rebuild_extension
+from .dbbench import (
+    DbSetup,
+    build_database,
+    prewarm_extension,
+    prewarm_pool,
+    rebuild_extension,
+    warm_extension,
+    warm_pool,
+)
 from .designs import DESIGNS, REMOTE_DESIGNS, TIER_SPECS, Design, DesignConfig
 from .iobench import IO_DESIGNS, IoTarget, build_custom_multi, build_io_target
 from .report import format_metrics, format_series, format_table
@@ -9,5 +17,6 @@ __all__ = [
     "DESIGNS", "DbSetup", "Design", "DesignConfig", "IO_DESIGNS",
     "IoTarget", "REMOTE_DESIGNS", "TIER_SPECS", "build_custom_multi",
     "build_database", "build_io_target", "format_metrics", "format_series",
-    "format_table", "prewarm_extension", "rebuild_extension",
+    "format_table", "prewarm_extension", "prewarm_pool",
+    "rebuild_extension", "warm_extension", "warm_pool",
 ]

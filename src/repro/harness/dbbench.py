@@ -41,6 +41,8 @@ __all__ = [
     "prewarm_extension",
     "prewarm_pool",
     "rebuild_extension",
+    "warm_extension",
+    "warm_pool",
 ]
 
 #: File ids reserved for engine-internal files.  Extension tiers are
@@ -314,14 +316,13 @@ def build_database(
     return setup
 
 
-def prewarm_extension(setup: DbSetup, max_pages: Optional[int] = None) -> int:
-    """Install every base-file page into the BPExt (steady-state setup).
+def warm_extension(pool, max_pages: Optional[int] = None) -> int:
+    """Install every base-file page of a BufferPool into its extension.
 
-    Long-running systems reach a state where the extension holds the
-    whole working set; benchmarks call this instead of burning wall
-    clock replaying hours of warm-up traffic.  Returns pages installed.
+    Pool-level worker shared by the single-node :class:`DbSetup` path
+    and the distributed builders (repro.dist warms each shard's stack).
+    Returns pages installed.
     """
-    pool = setup.database.pool
     extension = pool.extension
     if extension is None:
         return 0
@@ -339,14 +340,8 @@ def prewarm_extension(setup: DbSetup, max_pages: Optional[int] = None) -> int:
     return installed
 
 
-def prewarm_pool(setup: DbSetup, max_pages: Optional[int] = None) -> int:
-    """Fill the buffer pool with base-file pages (steady-state setup).
-
-    Used chiefly for the *Local Memory* design, whose pool is large
-    enough to hold the database: benchmarks measure steady state, not
-    the hours of traffic it takes to get there.  Returns pages cached.
-    """
-    pool = setup.database.pool
+def warm_pool(pool, max_pages: Optional[int] = None) -> int:
+    """Fill a BufferPool with base-file pages; returns pages cached."""
     budget = pool.capacity_pages if max_pages is None else min(pool.capacity_pages, max_pages)
     installed = 0
     for store in pool.files.values():
@@ -356,6 +351,26 @@ def prewarm_pool(setup: DbSetup, max_pages: Optional[int] = None) -> int:
             if pool.adopt(page):
                 installed += 1
     return installed
+
+
+def prewarm_extension(setup: DbSetup, max_pages: Optional[int] = None) -> int:
+    """Install every base-file page into the BPExt (steady-state setup).
+
+    Long-running systems reach a state where the extension holds the
+    whole working set; benchmarks call this instead of burning wall
+    clock replaying hours of warm-up traffic.  Returns pages installed.
+    """
+    return warm_extension(setup.database.pool, max_pages)
+
+
+def prewarm_pool(setup: DbSetup, max_pages: Optional[int] = None) -> int:
+    """Fill the buffer pool with base-file pages (steady-state setup).
+
+    Used chiefly for the *Local Memory* design, whose pool is large
+    enough to hold the database: benchmarks measure steady state, not
+    the hours of traffic it takes to get there.  Returns pages cached.
+    """
+    return warm_pool(setup.database.pool, max_pages)
 
 
 def rebuild_extension(setup: DbSetup, name: Optional[str] = None):

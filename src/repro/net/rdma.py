@@ -54,6 +54,12 @@ class MemoryRegion:
         self.server = server
         self.size = size
         self.registered = False
+        #: One-sided verbs currently in flight against this region.
+        self.inflight = 0
+        #: Set when the region was deregistered out from under in-flight
+        #: ops (``deregister(force=True)``): those ops must fail on
+        #: resume rather than complete against the freed bytes.
+        self.doomed = False
         self._data: bytearray | None = None
         #: Object-extent overlay: offset -> (length, payload object).
         self._objects: dict[int, tuple[int, Any]] = {}
@@ -132,10 +138,36 @@ class RdmaRegistrar:
         self.regions[region.mr_id] = region
         return region
 
-    def deregister(self, region: MemoryRegion, release: bool = True) -> ProcessGenerator:
+    def deregister(
+        self, region: MemoryRegion, release: bool = True, force: bool = False
+    ) -> ProcessGenerator:
+        """Unpin and free a region.
+
+        Deregistering while one-sided verbs are still in flight against
+        the region is a use-after-free in waiting: the NIC would DMA
+        into (or out of) memory the OS has already reclaimed.  The
+        default is *assert* semantics — raise :class:`RdmaError` so the
+        caller finds the race.  ``force=True`` selects *doom* semantics
+        for paths that legitimately revoke memory out from under users
+        (lease revocation under memory pressure): the region is freed
+        immediately and every in-flight op fails deterministically with
+        :class:`RdmaError` when it resumes, instead of silently
+        completing against freed bytes.
+        """
         if region.mr_id not in self.regions:
             raise RdmaError("region is not registered here")
+        if region.inflight > 0 and not force:
+            raise RdmaError(
+                f"deregister with {region.inflight} ops in flight (use force=True to doom them)"
+            )
         yield from self.server.cpu.compute(MR_REGISTER_BASE_US / 2)
+        if region.inflight > 0:
+            if not force:
+                raise RdmaError(
+                    f"deregister raced {region.inflight} in-flight ops"
+                    " (use force=True to doom them)"
+                )
+            region.doomed = True
         del self.regions[region.mr_id]
         region.registered = False
         region.clear()
@@ -158,6 +190,9 @@ class QueuePair:
         self.connected = True
         self.reads = 0
         self.writes = 0
+        #: Bumped by disconnect() so verbs in flight across the break
+        #: can tell this connection's teardown from a later reconnect.
+        self._epoch = 0
 
     def _require_connected(self, region: MemoryRegion) -> None:
         if not self.connected:
@@ -169,8 +204,24 @@ class QueuePair:
         if region.server is not self.target:
             raise RdmaError("region does not belong to the connected target")
 
+    def _require_resumed(self, region: MemoryRegion, epoch: int) -> None:
+        """Re-check on resume, *before* touching region data.
+
+        The wire-time path suspends the caller for the full transfer;
+        by completion the QP may have been torn down or the region
+        deregistered (``deregister(force=True)`` dooms it).  A real NIC
+        flushes such work requests with an error completion — model
+        that as a deterministic :class:`RdmaError` instead of silently
+        completing against stale or freed memory.
+        """
+        if self._epoch != epoch or not self.connected:
+            raise RdmaError("queue pair disconnected while transfer in flight")
+        if region.doomed or not region.registered:
+            raise RdmaError("memory region deregistered while transfer in flight")
+
     def disconnect(self) -> None:
         self.connected = False
+        self._epoch += 1
 
     # -- one-sided verbs --------------------------------------------------
 
@@ -192,11 +243,18 @@ class QueuePair:
         sim = self.initiator.sim
         src: NicPort = self.initiator.nic
         dst: NicPort = self.target.nic
-        if sim.tracer.enabled:
-            with sim.tracer.span("rdma.read", provider=self.target.name, size=size):
+        epoch = self._epoch
+        region.inflight += 1
+        try:
+            if sim.tracer.enabled:
+                with sim.tracer.span("rdma.read", provider=self.target.name, size=size):
+                    yield from self._read_path(sim, src, dst, size)
+            else:
                 yield from self._read_path(sim, src, dst, size)
-        else:
-            yield from self._read_path(sim, src, dst, size)
+        finally:
+            region.inflight -= 1
+        # The transfer suspended us: the QP or region may be gone now.
+        self._require_resumed(region, epoch)
         self.reads += 1
         if nodata:
             return None
@@ -223,11 +281,17 @@ class QueuePair:
         sim = self.initiator.sim
         src: NicPort = self.initiator.nic
         dst: NicPort = self.target.nic
-        if sim.tracer.enabled:
-            with sim.tracer.span("rdma.write", provider=self.target.name, size=length):
+        epoch = self._epoch
+        region.inflight += 1
+        try:
+            if sim.tracer.enabled:
+                with sim.tracer.span("rdma.write", provider=self.target.name, size=length):
+                    yield from self._write_path(sim, src, dst, length)
+            else:
                 yield from self._write_path(sim, src, dst, length)
-        else:
-            yield from self._write_path(sim, src, dst, length)
+        finally:
+            region.inflight -= 1
+        self._require_resumed(region, epoch)
         if not nodata:
             if payload is not None:
                 region.write_bytes(offset, payload)

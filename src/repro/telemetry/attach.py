@@ -26,6 +26,7 @@ __all__ = [
     "register_remote_file",
     "register_reliability",
     "register_txn",
+    "register_dist",
     "register_server",
     "register_cluster",
 ]
@@ -147,6 +148,19 @@ def register_txn(registry: MetricsRegistry, prefix: str, manager: Any) -> None:
         registry.gauge(f"{prefix}.deadlocks_detected", lambda: float(locks.deadlocks))
         registry.gauge(f"{prefix}.lock_waits", lambda: float(locks.waits))
         registry.gauge(f"{prefix}.lock_wait_us", lambda: float(locks.lock_wait_us))
+
+
+def register_dist(registry: MetricsRegistry, prefix: str, runtime: Any) -> None:
+    """Adopt an :class:`~repro.dist.ExchangeRuntime`'s per-exchange stats.
+
+    Exchange ids are declared at plan-compile time (the planner calls
+    ``runtime.stat`` eagerly), so bind *after* compiling — only ids
+    known at bind time get gauges.
+    """
+    for exchange_id in sorted(runtime.stats):
+        stats = runtime.stats[exchange_id]
+        for attr in ("rows", "bytes", "batches", "credit_stalls_us"):
+            _gauge_attr(registry, f"{prefix}.exchange.{exchange_id}.{attr}", stats, attr)
 
 
 def register_server(registry: MetricsRegistry, prefix: str, server: Any) -> None:

@@ -26,17 +26,26 @@ from .tpcc import (
     run_tpcc,
 )
 from .tpcds import TPCDS_QUERIES, TpcdsScale, build_tpcds_database, tpcds_query_specs
-from .tpch import TPCH_QUERIES, TpchScale, build_tpch_database, tpch_query_specs
+from .tpch import (
+    TPCH_QUERIES,
+    TPCH_SCHEMAS,
+    TpchScale,
+    build_tpch_database,
+    generate_tpch_rows,
+    install_tpch_tables,
+    tpch_query_specs,
+)
 
 __all__ = [
     "CUSTOMER_SCHEMA", "DEFAULT_MIX", "HashSortConfig", "HashSortReport",
     "QuerySpec", "RANDOM_8K", "READ_MOSTLY_MIX", "RangeScanConfig",
     "RangeScanReport", "SEQUENTIAL_512K", "SqlioPattern", "SqlioResult",
-    "StreamReport", "TPCDS_QUERIES", "TPCH_QUERIES", "TpccConfig",
-    "TpccReport", "TpccScale", "TpcdsScale", "TpchScale",
+    "StreamReport", "TPCDS_QUERIES", "TPCH_QUERIES", "TPCH_SCHEMAS",
+    "TpccConfig", "TpccReport", "TpccScale", "TpcdsScale", "TpchScale",
     "build_customer_table", "build_hashsort_tables", "build_tpcc_database",
-    "build_tpcds_database", "build_tpch_database", "hashsort_plan",
-    "improvement_histogram", "run_hashsort", "run_query_streams",
+    "build_tpcds_database", "build_tpch_database", "generate_tpch_rows",
+    "hashsort_plan", "improvement_histogram", "install_tpch_tables",
+    "run_hashsort", "run_query_streams",
     "run_rangescan", "run_sqlio", "run_tpcc", "tpcds_query_specs",
     "tpch_query_specs",
 ]

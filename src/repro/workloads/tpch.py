@@ -36,7 +36,15 @@ from ..engine import (
 )
 from .analytics import QuerySpec
 
-__all__ = ["TpchScale", "TPCH_QUERIES", "build_tpch_database", "tpch_query_specs"]
+__all__ = [
+    "TpchScale",
+    "TPCH_QUERIES",
+    "TPCH_SCHEMAS",
+    "build_tpch_database",
+    "generate_tpch_rows",
+    "install_tpch_tables",
+    "tpch_query_specs",
+]
 
 CUSTOMER = Schema(
     columns=(
@@ -99,8 +107,24 @@ class TpchScale:
         return self.orders * self.lines_per_order
 
 
-def build_tpch_database(db: Database, scale: TpchScale = TpchScale(), seed: int = 0) -> dict:
-    """Load the scaled TPC-H tables and DTA-recommended indexes."""
+#: Schema per table name, for loaders that install subsets (repro.dist
+#: partitions tables across servers and loads one shard per server).
+TPCH_SCHEMAS = {
+    "customer": CUSTOMER,
+    "orders": ORDERS,
+    "lineitem": LINEITEM,
+    "part": PART,
+    "supplier": SUPPLIER,
+}
+
+
+def generate_tpch_rows(scale: TpchScale = TpchScale(), seed: int = 0) -> dict[str, list]:
+    """Generate the scaled TPC-H rows, keyed by table name.
+
+    Split out of :func:`build_tpch_database` so distributed loaders can
+    partition one canonical row set across servers.  The RNG draw order
+    is load-bearing: goldens depend on these exact rows.
+    """
     rng = np.random.default_rng(seed)
     customers = [
         (key, f"Customer{key}", key % 25, float(key % 9000), "BUILDING", "c")
@@ -141,13 +165,20 @@ def build_tpch_database(db: Database, scale: TpchScale = TpchScale(), seed: int 
     suppliers = [
         (key, key % 25, float(key % 9000), "s") for key in range(scale.suppliers)
     ]
+    return {
+        "customer": customers,
+        "orders": orders,
+        "lineitem": lineitems,
+        "part": parts,
+        "supplier": suppliers,
+    }
 
+
+def install_tpch_tables(db: Database, rows: dict[str, list], scale: TpchScale) -> dict:
+    """Create the TPC-H tables + DTA indexes from a generated row set."""
     tables = {
-        "customer": db.create_table("customer", CUSTOMER, customers),
-        "orders": db.create_table("orders", ORDERS, orders),
-        "lineitem": db.create_table("lineitem", LINEITEM, lineitems),
-        "part": db.create_table("part", PART, parts),
-        "supplier": db.create_table("supplier", SUPPLIER, suppliers),
+        name: db.create_table(name, schema, rows[name])
+        for name, schema in TPCH_SCHEMAS.items()
     }
     # DTA-style physical design: the NC indexes the templates seek on.
     indexes = {
@@ -160,6 +191,11 @@ def build_tpch_database(db: Database, scale: TpchScale = TpchScale(), seed: int 
     tables["_indexes"] = indexes
     tables["_scale"] = scale
     return tables
+
+
+def build_tpch_database(db: Database, scale: TpchScale = TpchScale(), seed: int = 0) -> dict:
+    """Load the scaled TPC-H tables and DTA-recommended indexes."""
+    return install_tpch_tables(db, generate_tpch_rows(scale, seed), scale)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,110 @@
+"""Three-strategy planner: identical answers, placement-shaped metrics."""
+
+import pytest
+
+from repro.dist import (
+    DistQuery,
+    DistSpec,
+    PartitionSpec,
+    Strategy,
+    build_dist,
+    build_strategy,
+    compile_fragments,
+    execute_query,
+    load_tpch_single,
+)
+from repro.workloads import TpchScale
+
+SMALL = TpchScale(orders=300, lines_per_order=2, customers=80, parts=60, suppliers=15)
+
+CUST_ORDERS = DistQuery(
+    name="cust_orders",
+    build_table="customer", build_key="custkey",
+    probe_table="orders", probe_key="custkey",
+    build_filter=("acctbal", "<", 50.0),
+    projection=(("build", "custkey"), ("build", "acctbal"),
+                ("probe", "orderkey"), ("probe", "totalprice")),
+    top_n=250,
+)
+
+SPEC = DistSpec(name="ptest", db_servers=2, bp_pages=400, tempdb_pages=256,
+                data_spindles=2, db_cores=4)
+
+
+def _run(strategy):
+    setup = build_strategy(strategy, SPEC, total_ext_pages=512, scale=SMALL, seed=3)
+    return execute_query(setup, CUST_ORDERS)
+
+
+class TestStrategies:
+    def test_all_three_strategies_row_identical(self):
+        page = _run(Strategy.PAGE)
+        query = _run(Strategy.QUERY)
+        hybrid = _run(Strategy.HYBRID)
+        assert page.rows == query.rows == hybrid.rows
+        assert len(page.rows) > 0
+        assert {page.strategy, query.strategy, hybrid.strategy} == {
+            "page", "query", "hybrid",
+        }
+
+    def test_placement_shapes_the_metrics(self):
+        page = _run(Strategy.PAGE)
+        query = _run(Strategy.QUERY)
+        # Page shipping never touches the exchange fabric; query shipping
+        # moves tuples and stays out of remote memory entirely.
+        assert page.metrics["exchange_bytes"] == 0
+        assert query.metrics["exchange_bytes"] > 0
+        assert query.metrics["exchange_rows"] > 0
+
+    def test_hybrid_faults_pages_and_ships_tuples(self):
+        setup = build_strategy(
+            Strategy.HYBRID, SPEC, total_ext_pages=512, scale=SMALL, seed=3
+        )
+        result = execute_query(setup, CUST_ORDERS)
+        assert result.metrics["exchange_bytes"] > 0
+        assert all(db.pool.extension is not None for db in setup.databases)
+
+    def test_strategy_accepts_plain_strings(self):
+        setup = build_strategy("query", SPEC, total_ext_pages=0, scale=SMALL, seed=3)
+        assert execute_query(setup, CUST_ORDERS).strategy == "query"
+
+
+class TestCompileErrors:
+    def test_unpartitioned_setup_rejected(self):
+        setup = build_dist(SPEC)
+        load_tpch_single(setup, scale=SMALL, seed=3)
+        with pytest.raises(ValueError, match="unpartitioned"):
+            compile_fragments(CUST_ORDERS, setup)
+
+    def test_wrong_partition_key_rejected(self):
+        # orders is hash-partitioned on orderkey, so a join that builds on
+        # orders.custkey cannot be co-located.
+        setup = build_strategy("query", SPEC, total_ext_pages=0, scale=SMALL, seed=3)
+        bad = DistQuery(
+            name="bad", build_table="orders", build_key="custkey",
+            probe_table="customer", probe_key="custkey",
+            projection=(("probe", "custkey"),),
+        )
+        with pytest.raises(ValueError, match="partitioned on"):
+            compile_fragments(bad, setup)
+
+    def test_custom_partitioning_satisfies_colocation(self):
+        custom = {
+            "customer": PartitionSpec("customer", "custkey"),
+            "orders": PartitionSpec("orders", "custkey"),
+            "lineitem": PartitionSpec("lineitem", "orderkey"),
+            "part": PartitionSpec("part", "partkey"),
+            "supplier": PartitionSpec("supplier", "suppkey"),
+        }
+        setup = build_strategy(
+            "query", SPEC, total_ext_pages=0, scale=SMALL,
+            partitioning=custom, seed=3,
+        )
+        orders_on_custkey = DistQuery(
+            name="oc", build_table="orders", build_key="custkey",
+            probe_table="customer", probe_key="custkey",
+            projection=(("build", "orderkey"), ("probe", "custkey")),
+            top_n=100,
+        )
+        result = execute_query(setup, orders_on_custkey)
+        assert len(result.rows) > 0

@@ -164,3 +164,141 @@ class TestQueuePair:
         complete(cluster.sim, qp.write(region, 0, size=8192, obj=page))
         got = complete(cluster.sim, qp.read(region, 0, 8192, opaque=True))
         assert got is page
+
+
+class TestInFlightRaces:
+    """disconnect()/deregister() racing one-sided verbs mid-transfer."""
+
+    def _start_read(self, cluster, qp, region, size=1 * MB):
+        sim = cluster.sim
+        outcome = {}
+
+        def reader():
+            try:
+                outcome["value"] = yield from qp.read(region, 0, size)
+            except RdmaError as exc:
+                outcome["error"] = exc
+
+        return sim.spawn(reader()), outcome
+
+    def test_disconnect_mid_flight_fails_read_on_resume(self):
+        cluster, db, mem = make_pair()
+        sim = cluster.sim
+        registrar = RdmaRegistrar(mem)
+        region = complete(sim, registrar.register(4 * MB))
+        region.write_bytes(0, b"x" * 1024)
+        qp = QueuePair(db, mem)
+        process, outcome = self._start_read(cluster, qp, region)
+
+        def breaker():
+            yield sim.timeout(5.0)  # mid-transfer (a 1 MB read takes ~260 us)
+            assert region.inflight == 1
+            qp.disconnect()
+
+        sim.spawn(breaker())
+        sim.run()
+        assert "value" not in outcome
+        assert "disconnected while transfer in flight" in str(outcome["error"])
+        assert region.inflight == 0
+
+    def test_disconnect_mid_flight_fails_write_on_resume(self):
+        cluster, db, mem = make_pair()
+        sim = cluster.sim
+        registrar = RdmaRegistrar(mem)
+        region = complete(sim, registrar.register(4 * MB))
+        qp = QueuePair(db, mem)
+        outcome = {}
+
+        def writer():
+            try:
+                yield from qp.write(region, 0, payload=b"y" * (1 * MB))
+            except RdmaError as exc:
+                outcome["error"] = exc
+
+        sim.spawn(writer())
+
+        def breaker():
+            yield sim.timeout(5.0)
+            qp.disconnect()
+
+        sim.spawn(breaker())
+        sim.run()
+        assert "error" in outcome
+        # The payload never landed: the write failed before touching data.
+        assert bytes(region.data[:4]) == b"\x00\x00\x00\x00"
+
+    def test_reconnect_epoch_still_fails_original_op(self):
+        """Even if a new connection comes up, the old op must fail."""
+        cluster, db, mem = make_pair()
+        sim = cluster.sim
+        registrar = RdmaRegistrar(mem)
+        region = complete(sim, registrar.register(4 * MB))
+        qp = QueuePair(db, mem)
+        process, outcome = self._start_read(cluster, qp, region)
+
+        def bounce():
+            yield sim.timeout(5.0)
+            qp.disconnect()
+            qp.connected = True  # "reconnect" — epoch already advanced
+
+        sim.spawn(bounce())
+        sim.run()
+        assert "error" in outcome
+
+    def test_deregister_with_inflight_reads_asserts(self):
+        cluster, db, mem = make_pair()
+        sim = cluster.sim
+        registrar = RdmaRegistrar(mem)
+        region = complete(sim, registrar.register(4 * MB))
+        qp = QueuePair(db, mem)
+        self._start_read(cluster, qp, region)
+        failures = {}
+
+        def revoker():
+            yield sim.timeout(5.0)
+            try:
+                yield from registrar.deregister(region)
+            except RdmaError as exc:
+                failures["error"] = exc
+
+        sim.spawn(revoker())
+        sim.run()
+        assert "in flight" in str(failures["error"])
+        assert region.registered  # assert semantics: nothing was freed
+
+    def test_deregister_force_dooms_inflight_read(self):
+        cluster, db, mem = make_pair()
+        sim = cluster.sim
+        registrar = RdmaRegistrar(mem)
+        before = mem.memory_available
+        region = complete(sim, registrar.register(4 * MB))
+        qp = QueuePair(db, mem)
+        process, outcome = self._start_read(cluster, qp, region)
+
+        def revoker():
+            yield sim.timeout(5.0)
+            yield from registrar.deregister(region, force=True)
+
+        sim.spawn(revoker())
+        sim.run()
+        assert "deregistered while transfer in flight" in str(outcome["error"])
+        assert region.doomed and not region.registered
+        assert mem.memory_available == before  # memory really freed
+
+    def test_deregister_force_is_noop_without_inflight(self):
+        cluster, _db, mem = make_pair()
+        sim = cluster.sim
+        registrar = RdmaRegistrar(mem)
+        region = complete(sim, registrar.register(1 * MB))
+        complete(sim, registrar.deregister(region, force=True))
+        assert not region.doomed  # force only dooms when ops are in flight
+
+    def test_clean_ops_unaffected_by_recheck(self):
+        cluster, db, mem = make_pair()
+        sim = cluster.sim
+        registrar = RdmaRegistrar(mem)
+        region = complete(sim, registrar.register(1 * MB))
+        qp = QueuePair(db, mem)
+        complete(sim, qp.write(region, 0, payload=b"ok"))
+        assert complete(sim, qp.read(region, 0, 2)) == b"ok"
+        assert region.inflight == 0
