@@ -26,9 +26,16 @@ import zlib
 from dataclasses import replace
 from pathlib import Path
 
-from repro.dist import DistQuery, DistSpec, Strategy, build_strategy, execute_query
+from repro.dist import (
+    DistQuery,
+    DistSpec,
+    Strategy,
+    build_strategy,
+    execute_plan,
+    execute_query,
+)
 from repro.harness import format_table
-from repro.workloads import TpchScale
+from repro.workloads import TpchScale, tpch_returnflag_agg_plan, tpch_star_join_plan
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_dist.json"
 UPDATE = os.environ.get("REPRO_UPDATE_BENCH", "") == "1"
@@ -76,12 +83,7 @@ def _digest(rows: list) -> int:
     return zlib.crc32(repr(rows).encode())
 
 
-def run_cell(query: DistQuery, n: int, strategy: Strategy) -> dict:
-    setup = build_strategy(
-        strategy, _spec(n), total_ext_pages=TOTAL_EXT_PAGES,
-        scale=SCALE, seed=SEED,
-    )
-    result = execute_query(setup, query)
+def _cell(setup, result) -> dict:
     return {
         "strategy": result.strategy,
         "rows": len(result.rows),
@@ -90,6 +92,32 @@ def run_cell(query: DistQuery, n: int, strategy: Strategy) -> dict:
         "sim_now_us": round(setup.sim.now, 3),
         **result.metrics,
     }
+
+
+def run_cell(query: DistQuery, n: int, strategy: Strategy) -> dict:
+    setup = build_strategy(
+        strategy, _spec(n), total_ext_pages=TOTAL_EXT_PAGES,
+        scale=SCALE, seed=SEED,
+    )
+    return _cell(setup, execute_query(setup, query))
+
+
+def run_plan_cell(plan, name: str, n: int, strategy: Strategy) -> dict:
+    setup = build_strategy(
+        strategy, _spec(n), total_ext_pages=TOTAL_EXT_PAGES,
+        scale=SCALE, seed=SEED,
+    )
+    return _cell(setup, execute_plan(setup, plan, name=name))
+
+
+#: Logical plans (repro.plan IR) exercising the distributed lowerings a
+#: single DistQuery cannot express: a left-deep three-table star join
+#: (the intermediate result shuffles to the supplier owners) and a
+#: two-phase group-by (partial per fragment, final merge after gather).
+PLAN_CELLS = {
+    "star_join": tpch_star_join_plan(top_n=300),
+    "returnflag_agg": tpch_returnflag_agg_plan(),
+}
 
 
 def measure() -> dict:
@@ -108,6 +136,15 @@ def measure() -> dict:
     # shipped ahead of the shuffle.
     semi = replace(QUERIES["cust_orders"], semijoin=True)
     cells["cust_orders/2/query+semijoin"] = run_cell(semi, 2, Strategy.QUERY)
+    # Multi-join and two-phase aggregation: one IR plan per cell row.
+    for name, plan in PLAN_CELLS.items():
+        for strategy in STRATEGIES:
+            cell = run_plan_cell(plan, name, 2, strategy)
+            cells[f"{name}/2/{strategy.value}"] = cell
+            rows.append([
+                name, 2, strategy.value, cell["rows"],
+                cell["elapsed_us"], cell["exchange_bytes"],
+            ])
     print()
     print(format_table(
         ["query", "servers", "strategy", "rows", "elapsed (us)",
@@ -154,11 +191,28 @@ def test_dist_shipping_axis(once):
     assert pushed["bloom_filtered_rows"] > 0
     assert pushed["exchange_bytes"] < plain["exchange_bytes"]
 
+    # The IR-plan cells hold to the same contract: identical rows across
+    # strategies, and only the distributed lowerings touch the fabric.
+    for name in PLAN_CELLS:
+        page = cells[f"{name}/2/page"]
+        query = cells[f"{name}/2/query"]
+        hybrid = cells[f"{name}/2/hybrid"]
+        assert page["rows"] == query["rows"] == hybrid["rows"] > 0, name
+        assert page["rows_crc"] == query["rows_crc"] == hybrid["rows_crc"], name
+        assert page["exchange_bytes"] == 0 < query["exchange_bytes"], name
+    # Two-phase aggregation ships partial rows, not lineitems: orders of
+    # magnitude fewer exchanged rows than the star join's shuffles.
+    assert (
+        cells["returnflag_agg/2/query"]["exchange_rows"]
+        < cells["star_join/2/query"]["exchange_rows"] / 10
+    )
+
     if UPDATE or not BENCH_PATH.exists():
         BENCH_PATH.write_text(json.dumps({
             "description": "page vs query vs hybrid shipping: 2 TPC-H joins "
                            "x 2 cluster sizes x 3 strategies + semi-join "
-                           "pushdown; virtual-time exact golden",
+                           "pushdown + IR-plan star join and two-phase "
+                           "aggregation; virtual-time exact golden",
             "results": cells,
         }, indent=2) + "\n")
         return

@@ -31,12 +31,17 @@ from .partition import (
 )
 from .planner import (
     DistQuery,
+    FragmentLowering,
     Strategy,
     StrategyResult,
     build_strategy,
     compile_fragments,
+    compile_plan_fragments,
+    compile_plan_single,
     compile_single,
+    execute_plan,
     execute_query,
+    place_exchanges,
 )
 from .semijoin import BloomBuild, BloomFilter, FilterSlot
 
@@ -52,6 +57,7 @@ __all__ = [
     "ExchangeRuntime",
     "ExchangeStats",
     "FilterSlot",
+    "FragmentLowering",
     "GatherExchange",
     "PartitionSpec",
     "ShuffleExchange",
@@ -61,8 +67,12 @@ __all__ = [
     "build_dist",
     "build_strategy",
     "compile_fragments",
+    "compile_plan_fragments",
+    "compile_plan_single",
     "compile_single",
+    "execute_plan",
     "execute_query",
+    "place_exchanges",
     "load_tpch_partitioned",
     "load_tpch_single",
     "partition_rows",

@@ -1,4 +1,4 @@
-"""Compile one join query into page-, query- and hybrid-shipping plans.
+"""Lower logical plans into page-, query- and hybrid-shipping plans.
 
 The three strategies run on *identical virtual hardware* (same servers,
 devices, NICs — a :class:`~repro.dist.partition.DistSpec`); only data
@@ -15,22 +15,53 @@ placement differs:
   *and* each shard's pages live in remote memory, so fragments fault
   pages from the memory servers and still exchange tuples.
 
-Queries are declarative (:class:`DistQuery`): one equi-join with
-per-table filters, a projection, and a top-N over the **full projected
-tuple** — a canonical total order (the projection includes the probe
-primary key), so all three strategies must return row-identical
-results, which the benchmark asserts.
+Queries are :mod:`repro.plan` IR trees; one logical plan lowers three
+ways.  The page path is :func:`repro.plan.lower_single`; this module
+adds the distributed lowering in two steps:
+
+1. :func:`place_exchanges` rewrites the logical tree, inserting
+   :class:`~repro.plan.Exchange` nodes wherever tuples must cross the
+   fabric.  A join keeps its build side in place when that side is
+   already partitioned on the join key and shuffles the other side
+   (the classic co-located join); when *neither* side is co-located it
+   shuffles **both** sides on an ad-hoc hash spec (a repartitioning
+   join).  An Aggregate over partitioned data splits into a
+   ``partial`` per fragment and a ``final`` merge after a gather
+   (two-phase aggregation); a TopN gathers beneath it.
+2. :class:`FragmentLowering` lowers the placed tree once per fragment,
+   mapping Exchange nodes to the credit-flow-controlled
+   :class:`~repro.dist.exchange.ShuffleExchange` /
+   :class:`~repro.dist.exchange.GatherExchange` operators and wrapping
+   the build side with Bloom pushdown on ``semijoin`` joins.
+
+:class:`DistQuery` survives as a thin declarative constructor: its
+:meth:`~DistQuery.to_plan` emits the equivalent IR, and the legacy
+``compile_single`` / ``compile_fragments`` / ``execute_query`` entry
+points delegate to the IR pipeline, producing bit-identical plans.
 """
 
 from __future__ import annotations
 
 import math
-import operator
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Any, Optional
+from typing import Optional
 
-from ..engine import ExternalSort, HashJoin, Operator, TableScan
+from ..engine import ExecMetrics, Operator
+from ..plan import (
+    Aggregate,
+    Exchange,
+    Filter,
+    Join,
+    Lowering,
+    PlanError,
+    PlanNode,
+    Project,
+    Scan,
+    TopN,
+    count_nodes,
+    output_schema,
+)
 from ..sim.kernel import AllOf
 from ..storage import MB
 from ..workloads import TPCH_SCHEMAS, TpchScale
@@ -39,6 +70,7 @@ from .partition import (
     TPCH_PARTITIONING,
     DistSetup,
     DistSpec,
+    PartitionSpec,
     build_dist,
     load_tpch_partitioned,
     load_tpch_single,
@@ -50,19 +82,16 @@ __all__ = [
     "Strategy",
     "DistQuery",
     "StrategyResult",
+    "place_exchanges",
+    "FragmentLowering",
+    "compile_plan_single",
+    "compile_plan_fragments",
+    "execute_plan",
     "compile_single",
     "compile_fragments",
     "build_strategy",
     "execute_query",
 ]
-
-_OPS = {
-    "<": operator.lt,
-    "<=": operator.le,
-    ">": operator.gt,
-    ">=": operator.ge,
-    "==": operator.eq,
-}
 
 
 class Strategy(str, Enum):
@@ -77,7 +106,8 @@ class DistQuery:
 
     ``projection`` entries are ``(side, column)`` with side ``build`` or
     ``probe``; include the probe table's primary key so the projected
-    tuples are unique and full-tuple ordering is total.
+    tuples are unique and full-tuple ordering is total.  Kept as a thin
+    constructor over the IR — :meth:`to_plan` is the real query.
     """
 
     name: str
@@ -93,6 +123,27 @@ class DistQuery:
     bloom_bits: int = 1 << 15
     memory_bytes: int = 8 * MB
 
+    def to_plan(self) -> PlanNode:
+        """The equivalent logical plan: TopN(Project(Join(Scan, Scan)))."""
+        build = Scan(
+            self.build_table,
+            conditions=(self.build_filter,) if self.build_filter else (),
+        )
+        probe = Scan(
+            self.probe_table,
+            conditions=(self.probe_filter,) if self.probe_filter else (),
+        )
+        join = Join(
+            build, probe,
+            left_key=f"{self.build_table}.{self.build_key}",
+            right_key=f"{self.probe_table}.{self.probe_key}",
+            semijoin=self.semijoin,
+            bloom_bits=self.bloom_bits,
+        )
+        tables = {"build": self.build_table, "probe": self.probe_table}
+        columns = tuple(f"{tables[side]}.{column}" for side, column in self.projection)
+        return TopN(Project(join, columns), self.top_n)
+
 
 @dataclass
 class StrategyResult:
@@ -105,120 +156,248 @@ class StrategyResult:
     metrics: dict = field(default_factory=dict)
 
 
-def _predicate(schema, condition: Optional[tuple]):
-    if condition is None:
-        return None
-    column, op, value = condition
-    index = schema.index_of(column)
-    compare = _OPS[op]
-    return lambda row: compare(row[index], value)
+# ---------------------------------------------------------------------------
+# Exchange placement: logical tree -> logical tree + Exchange nodes
+# ---------------------------------------------------------------------------
 
 
-def _projector(query: DistQuery, schemas):
-    build = schemas[query.build_table]
-    probe = schemas[query.probe_table]
-    slots = tuple(
-        (0, build.index_of(column)) if side == "build" else (1, probe.index_of(column))
-        for side, column in query.projection
-    )
+@dataclass(frozen=True)
+class _Location:
+    """Where a placed subtree's rows live across the fragments.
 
-    def combine(build_row, probe_row):
-        sides = (build_row, probe_row)
-        return tuple(sides[which][index] for which, index in slots)
+    ``refs`` are the qualified column names whose values route rows
+    under ``spec.owner`` (a join adds the other side's key: equal
+    values, same owners).  ``rooted`` means every row has been funneled
+    to fragment 0 — the shape a gather produces.
+    """
 
-    return combine
+    refs: frozenset = frozenset()
+    spec: Optional[PartitionSpec] = None
+    rooted: bool = False
+
+    def co_located(self, ref: str) -> bool:
+        return self.spec is not None and ref in self.refs
 
 
-def _keys(query: DistQuery, schemas):
-    build_index = schemas[query.build_table].index_of(query.build_key)
-    probe_index = schemas[query.probe_table].index_of(query.probe_key)
-    return (lambda row: row[build_index]), (lambda row: row[probe_index])
+def _qualified(node: PlanNode, ref: str, schemas) -> str:
+    return output_schema(node, schemas).field_of(ref).name
+
+
+def place_exchanges(plan: PlanNode, partitioning: dict, schemas=None) -> PlanNode:
+    """Insert Exchange nodes so ``plan`` runs as N co-operating fragments.
+
+    Rules, bottom-up:
+
+    * a Join whose build (left) side is partitioned on the join key
+      shuffles the probe side to the build rows' owners; symmetrically
+      for the probe side; when neither side is co-located, **both**
+      sides shuffle on an ad-hoc hash spec (repartitioning join);
+    * an Aggregate over partitioned rows becomes partial-per-fragment,
+      gather, final-merge (two-phase aggregation);
+    * a TopN over partitioned rows gathers beneath it;
+    * if the root is still partitioned, a final gather is appended.
+
+    The result is still a logical plan — ``explain`` renders it, and
+    :func:`compile_plan_fragments` lowers it once per fragment.
+    """
+    schemas = schemas or TPCH_SCHEMAS
+
+    def place(node: PlanNode) -> tuple[PlanNode, _Location]:
+        if isinstance(node, Scan):
+            spec = partitioning.get(node.table)
+            if spec is None:
+                raise PlanError(f"no partition spec for table {node.table!r}")
+            return node, _Location(refs=frozenset({f"{node.table}.{spec.key}"}), spec=spec)
+        if isinstance(node, Filter):
+            child, at = place(node.child)
+            return Filter(child, node.condition), at
+        if isinstance(node, Project):
+            child, at = place(node.child)
+            placed = Project(child, node.columns)
+            kept = frozenset(
+                ref for ref in at.refs
+                if any(f.name == ref for f in output_schema(placed, schemas))
+            )
+            if not kept:
+                at = _Location(rooted=at.rooted)
+            else:
+                at = replace(at, refs=kept)
+            return placed, at
+        if isinstance(node, Join):
+            return place_join(node)
+        if isinstance(node, Aggregate):
+            if node.phase != "single":
+                raise PlanError("source plans must use single-phase Aggregates")
+            child, at = place(node.child)
+            if at.rooted:
+                return Aggregate(child, node.group_by, node.aggs), at
+            partial = Aggregate(child, node.group_by, node.aggs, phase="partial")
+            gathered = Exchange(partial, "gather")
+            final = Aggregate(gathered, node.group_by, node.aggs, phase="final")
+            return final, _Location(rooted=True)
+        if isinstance(node, TopN):
+            child, at = place(node.child)
+            if not at.rooted:
+                child = Exchange(child, "gather")
+            return TopN(child, node.n), _Location(rooted=True)
+        if isinstance(node, Exchange):
+            raise PlanError("source plans must not contain Exchange nodes")
+        raise PlanError(f"cannot place node {type(node).__name__}")
+
+    def place_join(node: Join) -> tuple[PlanNode, _Location]:
+        left, l_at = place(node.left)
+        right, r_at = place(node.right)
+        qual_lk = _qualified(left, node.left_key, schemas)
+        qual_rk = _qualified(right, node.right_key, schemas)
+        joined = frozenset({qual_lk, qual_rk})
+        if l_at.rooted and r_at.rooted:
+            at = _Location(rooted=True)
+        elif l_at.rooted or r_at.rooted:
+            # One side already funneled to the root: gather the other
+            # so the join happens (with real inputs) only at fragment 0.
+            if not l_at.rooted:
+                left = Exchange(left, "gather")
+            else:
+                right = Exchange(right, "gather")
+            at = _Location(rooted=True)
+        elif l_at.co_located(qual_lk):
+            right = Exchange(right, "shuffle", key=qual_rk, spec=l_at.spec)
+            at = _Location(refs=l_at.refs | joined, spec=l_at.spec)
+        elif r_at.co_located(qual_rk):
+            left = Exchange(left, "shuffle", key=qual_lk, spec=r_at.spec)
+            at = _Location(refs=r_at.refs | joined, spec=r_at.spec)
+        else:
+            # Repartitioning join: hash both inputs on the join key.
+            spec = PartitionSpec(table="*", key=qual_lk.rsplit(".", 1)[-1])
+            left = Exchange(left, "shuffle", key=qual_lk, spec=spec)
+            right = Exchange(right, "shuffle", key=qual_rk, spec=spec)
+            at = _Location(refs=joined, spec=spec)
+        placed = Join(
+            left, right, node.left_key, node.right_key,
+            semijoin=node.semijoin, bloom_bits=node.bloom_bits,
+        )
+        return placed, at
+
+    placed, at = place(plan)
+    if not at.rooted:
+        placed = Exchange(placed, "gather")
+    return placed
+
+
+# ---------------------------------------------------------------------------
+# Fragment lowering: placed logical tree -> physical operators
+# ---------------------------------------------------------------------------
+
+
+class _ExchangeNames:
+    """Deterministic per-plan exchange ids, declared eagerly.
+
+    Every fragment lowers the same placed tree in the same order, so
+    regenerating the sequence per fragment yields identical ids — the
+    contract the exchange fabric (and telemetry binders) require.  The
+    first id of each role is ``{base}.{role}`` (legacy naming); later
+    ones append a counter (``.shuffle2``, ...).
+    """
+
+    def __init__(self, runtime, base: str):
+        self.runtime = runtime
+        self.base = base
+        self.counts: dict[str, int] = {}
+
+    def assign(self, role: str) -> str:
+        count = self.counts.get(role, 0) + 1
+        self.counts[role] = count
+        exchange_id = f"{self.base}.{role}" if count == 1 else f"{self.base}.{role}{count}"
+        self.runtime.stat(exchange_id)  # eager: binders see ids pre-run
+        return exchange_id
+
+
+class FragmentLowering(Lowering):
+    """Lower a placed tree for one fragment's shard of the tables.
+
+    Everything except Exchange handling and semi-join pushdown is the
+    shared single-node lowering — same fusion rules, same operators,
+    which is what keeps rows identical across the three strategies.
+    """
+
+    def __init__(self, tables, schemas, runtime, names: _ExchangeNames):
+        super().__init__(tables, schemas, cost_model=None)
+        self.runtime = runtime
+        self.names = names
+
+    def lower_exchange(self, node: Exchange) -> Operator:
+        child = self.lower(node.child)
+        if node.kind == "gather":
+            return GatherExchange(
+                child, runtime=self.runtime,
+                exchange_id=self.names.assign("gather"), root=0,
+            )
+        key = self.schema_of(node.child).extractor(node.key)
+        owner = node.spec.owner if node.spec is not None else None
+        return ShuffleExchange(
+            child, key=key, runtime=self.runtime,
+            exchange_id=self.names.assign("shuffle"), owner=owner,
+        )
+
+    def decorate_join_inputs(self, node, build_op, probe_op, left_schema, right_schema):
+        if not node.semijoin or not isinstance(probe_op, ShuffleExchange):
+            return build_op, probe_op
+        slot = FilterSlot()
+        build_op = BloomBuild(
+            build_op, key=left_schema.extractor(node.left_key),
+            runtime=self.runtime, exchange_id=self.names.assign("bloom"),
+            slot=slot, n_bits=node.bloom_bits,
+        )
+        probe_op.filter_slot = slot
+        return build_op, probe_op
+
+
+def compile_plan_single(plan: PlanNode, tables: dict, schemas=None) -> Operator:
+    """The page-shipping lowering: ordinary single-node operators."""
+    schemas = schemas or TPCH_SCHEMAS
+    return Lowering(tables, schemas).lower(plan)
+
+
+def compile_plan_fragments(
+    plan: PlanNode,
+    setup: DistSetup,
+    name: str = "query",
+    tag: str = "run",
+    schemas=None,
+) -> list[Operator]:
+    """Place exchanges, then lower the placed tree once per fragment.
+
+    Exchange ids embed ``name`` and ``tag`` so repeated runs (warm-up
+    vs measured) keep separate cumulative stats.
+    """
+    schemas = schemas or TPCH_SCHEMAS
+    if setup.partitioning is None:
+        raise ValueError("setup holds unpartitioned data; use compile_single")
+    placed = place_exchanges(plan, setup.partitioning, schemas)
+    plans: list[Operator] = []
+    for tables in setup.tables:
+        names = _ExchangeNames(setup.runtime, f"{name}.{tag}")
+        plans.append(FragmentLowering(tables, schemas, setup.runtime, names).lower(placed))
+    return plans
+
+
+# ---------------------------------------------------------------------------
+# Legacy DistQuery entry points (delegate to the IR pipeline)
+# ---------------------------------------------------------------------------
 
 
 def compile_single(query: DistQuery, tables: dict, schemas=None) -> Operator:
     """The page-shipping plan: ordinary single-node join + top-N."""
-    schemas = schemas or TPCH_SCHEMAS
-    build_key, probe_key = _keys(query, schemas)
-    join = HashJoin(
-        build=TableScan(
-            tables[query.build_table],
-            predicate=_predicate(schemas[query.build_table], query.build_filter),
-        ),
-        probe=TableScan(
-            tables[query.probe_table],
-            predicate=_predicate(schemas[query.probe_table], query.probe_filter),
-        ),
-        build_key=build_key,
-        probe_key=probe_key,
-        combine=_projector(query, schemas),
-    )
-    return ExternalSort(join, key=lambda row: row, top_n=query.top_n)
+    return compile_plan_single(query.to_plan(), tables, schemas)
 
 
 def compile_fragments(
     query: DistQuery, setup: DistSetup, tag: str = "run", schemas=None
 ) -> list[Operator]:
-    """One plan per fragment: co-located build, shuffled probe, gather.
-
-    The probe side shuffles each row to the fragment owning its join
-    partner — routed by the *build table's* partition spec, which must
-    therefore be partitioned on the join key.  Exchange ids embed
-    ``tag`` so repeated runs (warm-up vs measured) keep separate
-    cumulative stats.
-    """
-    schemas = schemas or TPCH_SCHEMAS
-    if setup.partitioning is None:
-        raise ValueError("setup holds unpartitioned data; use compile_single")
-    spec = setup.partitioning[query.build_table]
-    if spec.key != query.build_key:
-        raise ValueError(
-            f"co-located join needs {query.build_table!r} partitioned on"
-            f" {query.build_key!r}, not {spec.key!r}"
-        )
-    build_key, probe_key = _keys(query, schemas)
-    combine = _projector(query, schemas)
-    runtime = setup.runtime
-    shuffle_id = f"{query.name}.{tag}.shuffle"
-    gather_id = f"{query.name}.{tag}.gather"
-    bloom_id = f"{query.name}.{tag}.bloom"
-    # Eager declaration: telemetry binders see the ids before the run.
-    runtime.stat(shuffle_id)
-    runtime.stat(gather_id)
-    if query.semijoin:
-        runtime.stat(bloom_id)
-
-    plans: list[Operator] = []
-    for tables in setup.tables:
-        build_scan = TableScan(
-            tables[query.build_table],
-            predicate=_predicate(schemas[query.build_table], query.build_filter),
-        )
-        slot = None
-        build_op: Operator = build_scan
-        if query.semijoin:
-            slot = FilterSlot()
-            build_op = BloomBuild(
-                build_scan, key=build_key, runtime=runtime,
-                exchange_id=bloom_id, slot=slot, n_bits=query.bloom_bits,
-            )
-        shuffle = ShuffleExchange(
-            TableScan(
-                tables[query.probe_table],
-                predicate=_predicate(schemas[query.probe_table], query.probe_filter),
-            ),
-            key=probe_key,
-            runtime=runtime,
-            exchange_id=shuffle_id,
-            owner=spec.owner,
-            filter_slot=slot,
-        )
-        join = HashJoin(
-            build=build_op, probe=shuffle,
-            build_key=build_key, probe_key=probe_key, combine=combine,
-        )
-        gather = GatherExchange(join, runtime=runtime, exchange_id=gather_id, root=0)
-        plans.append(ExternalSort(gather, key=lambda row: row, top_n=query.top_n))
-    return plans
+    """One plan per fragment: co-located build, shuffled probe, gather."""
+    return compile_plan_fragments(
+        query.to_plan(), setup, name=query.name, tag=tag, schemas=schemas
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -258,67 +437,60 @@ def build_strategy(
     return setup
 
 
-def _metrics_dict(metrics) -> dict:
-    return {
-        "rows_out": metrics.rows_out,
-        "spilled_runs": metrics.spilled_runs,
-        "spilled_bytes": metrics.spilled_bytes,
-        "exchange_batches": metrics.exchange_batches,
-        "exchange_rows": metrics.exchange_rows,
-        "exchange_bytes": metrics.exchange_bytes,
-        "credit_stalls_us": round(metrics.credit_stalls_us, 3),
-        "bloom_filtered_rows": metrics.bloom_filtered_rows,
-    }
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
 
 
-def _sum_metrics(parts: list[dict]) -> dict:
-    total: dict[str, Any] = {}
-    for part in parts:
-        for key, value in part.items():
-            total[key] = total.get(key, 0) + value
-    if "credit_stalls_us" in total:
-        total["credit_stalls_us"] = round(total["credit_stalls_us"], 3)
-    return total
-
-
-def execute_query(
-    setup: DistSetup, query: DistQuery, tag: str = "run", schemas=None
+def execute_plan(
+    setup: DistSetup,
+    plan: PlanNode,
+    name: str = "query",
+    tag: str = "run",
+    memory_bytes: int = 8 * MB,
+    memory_consumers: Optional[int] = None,
+    schemas=None,
 ) -> StrategyResult:
-    """Run one query on one strategy setup; returns rows + metrics.
+    """Run one logical plan on one strategy setup; rows + metrics.
 
-    Unpartitioned setups (page shipping) run the single-node plan on DB
-    server 0; partitioned setups spawn one fragment per server and wait
-    for all of them — the root fragment's rows are the query result.
+    Unpartitioned setups (page shipping) lower the plan single-node and
+    run it on DB server 0; partitioned setups place exchanges, spawn
+    one fragment per server and wait for all of them — the root
+    fragment's rows are the query result.  Fragment metrics merge via
+    :meth:`~repro.engine.ExecMetrics.merged`.
     """
+    if memory_consumers is None:
+        memory_consumers = max(1, count_nodes(plan, Join, Aggregate, TopN))
     sim = setup.sim
     start = sim.now
     if setup.partitioning is None:
-        plan = compile_single(query, setup.tables[0], schemas)
+        op = compile_plan_single(plan, setup.tables[0], schemas)
         result = setup.run(
             setup.databases[0].execute(
-                plan, requested_memory_bytes=query.memory_bytes, memory_consumers=2
+                op, requested_memory_bytes=memory_bytes,
+                memory_consumers=memory_consumers,
             )
         )
         return StrategyResult(
-            strategy=Strategy.PAGE.value, query=query.name,
+            strategy=Strategy.PAGE.value, query=name,
             rows=result.rows, elapsed_us=sim.now - start,
-            metrics=_metrics_dict(result.metrics),
+            metrics=result.metrics.to_dict(),
         )
 
-    plans = compile_fragments(query, setup, tag, schemas)
+    plans = compile_plan_fragments(plan, setup, name, tag, schemas)
     fragments = len(plans)
     results: list = [None] * fragments
 
-    def fragment(index: int, plan: Operator):
+    def fragment(index: int, op: Operator):
         results[index] = yield from setup.databases[index].execute(
-            plan,
-            requested_memory_bytes=query.memory_bytes,
-            memory_consumers=2,
+            op,
+            requested_memory_bytes=memory_bytes,
+            memory_consumers=memory_consumers,
             fragment_index=index,
             fragments=fragments,
         )
 
-    processes = [sim.spawn(fragment(i, plan)) for i, plan in enumerate(plans)]
+    processes = [sim.spawn(fragment(i, op)) for i, op in enumerate(plans)]
 
     def waiter():
         yield AllOf(sim, processes)
@@ -330,7 +502,17 @@ def execute_query(
         else Strategy.QUERY.value
     )
     return StrategyResult(
-        strategy=strategy, query=query.name,
+        strategy=strategy, query=name,
         rows=results[0].rows, elapsed_us=sim.now - start,
-        metrics=_sum_metrics([_metrics_dict(r.metrics) for r in results]),
+        metrics=ExecMetrics.merged(r.metrics for r in results).to_dict(),
+    )
+
+
+def execute_query(
+    setup: DistSetup, query: DistQuery, tag: str = "run", schemas=None
+) -> StrategyResult:
+    """Run one :class:`DistQuery` (legacy surface) via the IR pipeline."""
+    return execute_plan(
+        setup, query.to_plan(), name=query.name, tag=tag,
+        memory_bytes=query.memory_bytes, memory_consumers=2, schemas=schemas,
     )

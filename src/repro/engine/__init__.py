@@ -9,17 +9,27 @@ from .files import DevicePageFile, PageStore, RemotePageFile, SmbPageFile
 from .grants import Grant, GrantManager
 from .operators import (
     ExecContext,
+    ExecMetrics,
     ExternalSort,
+    FilterRows,
     HashAggregate,
     HashJoin,
     IndexNestedLoopJoin,
     IndexRangeScan,
     IndexSeek,
     Operator,
+    ProjectRows,
     TableScan,
 )
 from .loader import LoadReport, LoadSplit, load_splits, parallel_load
-from .optimizer import CostModel, JoinChoice, Medium, choose_join, crossover_selectivity
+from .optimizer import (
+    CostModel,
+    JoinChoice,
+    Medium,
+    choose_join,
+    cost_model_for,
+    crossover_selectivity,
+)
 from .page import PAGE_SIZE, Page, PageId, PageKind, rows_per_page
 from .priming import (
     PrimingResult,
@@ -43,7 +53,9 @@ __all__ = [
     "EngineError",
     "EXTENT_PAGES",
     "ExecContext",
+    "ExecMetrics",
     "ExternalSort",
+    "FilterRows",
     "Grant",
     "GrantManager",
     "GrantTimeout",
@@ -62,6 +74,7 @@ __all__ = [
     "PageNotFound",
     "PageStore",
     "PlanError",
+    "ProjectRows",
     "QueryResult",
     "RemotePageFile",
     "Schema",
@@ -83,6 +96,7 @@ __all__ = [
     "ReactivePrimer",
     "SemanticCache",
     "choose_join",
+    "cost_model_for",
     "crossover_selectivity",
     "load_splits",
     "parallel_load",

@@ -12,7 +12,7 @@ from __future__ import annotations
 import abc
 import heapq
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, Callable, Optional
 
 from ..sim.kernel import ProcessGenerator
@@ -31,6 +31,7 @@ from .errors import PlanError
 
 __all__ = [
     "ExecContext",
+    "ExecMetrics",
     "Operator",
     "TableScan",
     "IndexRangeScan",
@@ -39,6 +40,8 @@ __all__ = [
     "IndexNestedLoopJoin",
     "ExternalSort",
     "HashAggregate",
+    "FilterRows",
+    "ProjectRows",
 ]
 
 
@@ -56,6 +59,33 @@ class ExecMetrics:
     exchange_bytes: int = 0
     credit_stalls_us: float = 0.0
     bloom_filtered_rows: int = 0
+
+    #: Fields surfaced in benchmark summaries (``to_dict``), in order.
+    SUMMARY_FIELDS = (
+        "rows_out", "spilled_runs", "spilled_bytes",
+        "exchange_batches", "exchange_rows", "exchange_bytes",
+        "credit_stalls_us", "bloom_filtered_rows",
+    )
+
+    def merge(self, other: "ExecMetrics") -> "ExecMetrics":
+        """Fold another fragment's (or query's) counters into this one."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    @classmethod
+    def merged(cls, parts) -> "ExecMetrics":
+        """Sum of many ExecMetrics — per-fragment or per-query totals."""
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
+
+    def to_dict(self) -> dict:
+        """Summary dict with stall time rounded for stable goldens."""
+        out = {name: getattr(self, name) for name in self.SUMMARY_FIELDS}
+        out["credit_stalls_us"] = round(out["credit_stalls_us"], 3)
+        return out
 
 
 @dataclass
@@ -488,6 +518,48 @@ def _sort_token(key: Any, sign: int):
     if isinstance(key, tuple):
         return tuple(_sort_token(item, sign) for item in key)
     return -key
+
+
+class FilterRows(Operator):
+    """Row-at-a-time predicate over any child (un-fusable Filters).
+
+    Plans lowered from the IR fuse filters into scans where possible;
+    this operator exists for conditions over derived rows — e.g. a
+    post-join filter — and charges one row-touch of CPU per input row.
+    """
+
+    def __init__(self, child: Operator, predicate: Callable[[tuple], bool]):
+        self.child = child
+        self.predicate = predicate
+        self.row_bytes = child.row_bytes
+
+    def run(self, ctx: ExecContext) -> ProcessGenerator:
+        rows = yield from self.child.run(ctx)
+        yield from ctx.cpu.compute(len(rows) * PER_ROW_SCAN_CPU_US)
+        out = [row for row in rows if self.predicate(row)]
+        ctx.metrics.rows_out += len(out)
+        return out
+
+
+class ProjectRows(Operator):
+    """Row-at-a-time projection over any child (un-fusable Projects)."""
+
+    def __init__(
+        self,
+        child: Operator,
+        project: Callable[[tuple], tuple],
+        row_bytes: int = 64,
+    ):
+        self.child = child
+        self.project = project
+        self.row_bytes = row_bytes
+
+    def run(self, ctx: ExecContext) -> ProcessGenerator:
+        rows = yield from self.child.run(ctx)
+        yield from ctx.cpu.compute(len(rows) * PER_ROW_OUTPUT_CPU_US)
+        out = [self.project(row) for row in rows]
+        ctx.metrics.rows_out += len(out)
+        return out
 
 
 class HashAggregate(Operator):

@@ -19,7 +19,14 @@ from typing import Optional
 
 from ..broker import MemoryBroker, MemoryProxy
 from ..cluster import Cluster, Server
-from ..engine import Database, DevicePageFile, PageStore, RemotePageFile, SmbPageFile
+from ..engine import (
+    Database,
+    DevicePageFile,
+    PageStore,
+    RemotePageFile,
+    SmbPageFile,
+    cost_model_for,
+)
 from ..engine.page import PAGE_SIZE
 from ..net import Network, SmbClient, SmbDirectClient, SmbFileServer
 from ..reliability import ReliabilityLayer, ReliabilityPolicy
@@ -87,6 +94,40 @@ class DbSetup:
 
     def run(self, generator):
         return self.sim.run_until_complete(self.sim.spawn(generator))
+
+    def execute_plan(
+        self,
+        plan,
+        tables: dict,
+        schemas: Optional[dict] = None,
+        memory_bytes: int = 8 * MB,
+        memory_consumers: Optional[int] = None,
+        cost_model="auto",
+    ):
+        """Lower a :mod:`repro.plan` IR tree on this database and run it.
+
+        The single-node counterpart of
+        :func:`repro.dist.planner.execute_plan`: the same logical plan a
+        distributed setup fragments runs here as one operator tree.  By
+        default the lowering consults the §3.3 cost model matching where
+        this setup's indexes land (``cost_model="auto"``); pass ``None``
+        to force hash joins everywhere (the strategy-comparable shape).
+        Returns the engine's :class:`~repro.engine.QueryResult`.
+        """
+        from ..plan import Aggregate, Join, TopN, count_nodes, lower_single
+
+        if schemas is None:
+            from ..workloads import TPCH_SCHEMAS
+            schemas = TPCH_SCHEMAS
+        if cost_model == "auto":
+            cost_model = cost_model_for(self.database)
+        op = lower_single(plan, tables, schemas, cost_model)
+        if memory_consumers is None:
+            memory_consumers = max(1, count_nodes(plan, Join, Aggregate, TopN))
+        return self.run(self.database.execute(
+            op, requested_memory_bytes=memory_bytes,
+            memory_consumers=memory_consumers,
+        ))
 
     def cache_store(self, capacity_pages: int, name: str = "semcache"):
         """``yield from``-able: a page store on the spec's semcache medium.

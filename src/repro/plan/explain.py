@@ -1,0 +1,134 @@
+"""Pretty-print logical plans and lowered physical operator trees.
+
+``explain(plan, schemas)`` renders the IR tree with each node's derived
+output schema; it works on source plans *and* on placed distributed
+plans (Exchange nodes show their routing).  ``explain_physical``
+renders a lowered operator tree, and ``explain_fragments`` renders a
+distributed lowering with per-fragment/server annotations — the same
+IR shown three ways is ``examples/explain_plan.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .ir import (
+    Aggregate,
+    Exchange,
+    Filter,
+    Join,
+    PlanNode,
+    Project,
+    Scan,
+    TopN,
+    output_schema,
+)
+
+__all__ = ["explain", "explain_physical", "explain_fragments"]
+
+
+def _condition(cond: tuple) -> str:
+    column, op, value = cond
+    return f"{column} {op} {value!r}"
+
+
+def _label(node: PlanNode) -> str:
+    if isinstance(node, Scan):
+        label = f"Scan[{node.table}]"
+        if node.conditions:
+            label += " filter " + " and ".join(_condition(c) for c in node.conditions)
+        return label
+    if isinstance(node, Filter):
+        return f"Filter[{_condition(node.condition)}]"
+    if isinstance(node, Project):
+        return f"Project[{', '.join(node.columns)}]"
+    if isinstance(node, Join):
+        label = f"Join[{node.left_key} = {node.right_key}]"
+        if node.semijoin:
+            label += " semijoin"
+        return label
+    if isinstance(node, Aggregate):
+        aggs = ", ".join(a.out_name for a in node.aggs) or "-"
+        label = f"Aggregate[by {', '.join(node.group_by)}; {aggs}]"
+        if node.phase != "single":
+            label += f" phase={node.phase}"
+        return label
+    if isinstance(node, TopN):
+        return f"TopN[{node.n}]"
+    if isinstance(node, Exchange):
+        if node.kind == "shuffle":
+            how = f"shuffle by {node.key}"
+            if node.spec is not None and getattr(node.spec, "table", "*") != "*":
+                how += f" (owner: {node.spec.table} partitioning)"
+            return f"Exchange[{how}]"
+        return "Exchange[gather -> root]"
+    return type(node).__name__
+
+
+def explain(
+    plan: PlanNode,
+    schemas: Optional[dict] = None,
+    show_schema: bool = True,
+) -> str:
+    """Render a logical plan tree, one node per line, schemas inline."""
+    lines: list[str] = []
+
+    def render(node: PlanNode, depth: int) -> None:
+        line = "  " * depth + _label(node)
+        if show_schema and schemas is not None:
+            line += f"  :: ({output_schema(node, schemas).describe()})"
+        lines.append(line)
+        for child in node.children():
+            render(child, depth + 1)
+
+    render(plan, 0)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Physical trees
+# ---------------------------------------------------------------------------
+
+#: Attribute names under which physical operators hold child operators,
+#: in render order (build before probe, outer before inner).
+_CHILD_ATTRS = ("child", "build", "probe", "outer", "scan")
+
+
+def _physical_label(op: Any) -> str:
+    name = type(op).__name__
+    notes = []
+    for attr in ("exchange_id", "top_n", "root"):
+        value = getattr(op, attr, None)
+        if value is not None and not hasattr(value, "run"):
+            notes.append(f"{attr}={value}")
+    if getattr(op, "table", None) is not None and hasattr(op.table, "name"):
+        notes.insert(0, op.table.name)
+    if getattr(op, "predicate", None) is not None:
+        notes.append("filtered")
+    if getattr(op, "filter_slot", None) is not None:
+        notes.append("bloom-filtered")
+    if getattr(op, "inner_tree", None) is not None:
+        notes.append("index=clustered")
+    return f"{name}({', '.join(notes)})" if notes else name
+
+
+def explain_physical(op: Any, depth: int = 0) -> str:
+    """Render a lowered physical operator tree."""
+    lines = ["  " * depth + _physical_label(op)]
+    for attr in _CHILD_ATTRS:
+        child = getattr(op, attr, None)
+        if child is not None and hasattr(child, "run") and not isinstance(child, type):
+            lines.append(explain_physical(child, depth + 1))
+    return "\n".join(lines)
+
+
+def explain_fragments(plans: list, servers: Optional[list] = None) -> str:
+    """Render per-fragment physical plans with server annotations."""
+    lines: list[str] = []
+    for index, plan in enumerate(plans):
+        where = ""
+        if servers is not None and index < len(servers):
+            where = f" @ {getattr(servers[index], 'name', servers[index])}"
+        lines.append(f"fragment {index}{where}:")
+        lines.append(explain_physical(plan, depth=1))
+    return "\n".join(lines)

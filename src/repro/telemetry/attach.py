@@ -161,6 +161,16 @@ def register_dist(registry: MetricsRegistry, prefix: str, runtime: Any) -> None:
         stats = runtime.stats[exchange_id]
         for attr in ("rows", "bytes", "batches", "credit_stalls_us"):
             _gauge_attr(registry, f"{prefix}.exchange.{exchange_id}.{attr}", stats, attr)
+    # Fabric-wide totals: *live* over the stats dict, so exchanges a
+    # later compile declares (multi-join plans add .shuffle2, ...) are
+    # counted without re-binding.
+    for attr in ("rows", "bytes", "batches", "credit_stalls_us"):
+        registry.gauge(
+            f"{prefix}.exchange.total.{attr}",
+            lambda attr=attr: float(
+                sum(getattr(stats, attr) for stats in runtime.stats.values())
+            ),
+        )
 
 
 def register_server(registry: MetricsRegistry, prefix: str, server: Any) -> None:

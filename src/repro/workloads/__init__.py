@@ -33,7 +33,10 @@ from .tpch import (
     build_tpch_database,
     generate_tpch_rows,
     install_tpch_tables,
+    tpch_order_lines_plan,
     tpch_query_specs,
+    tpch_returnflag_agg_plan,
+    tpch_star_join_plan,
 )
 
 __all__ = [
@@ -47,5 +50,6 @@ __all__ = [
     "hashsort_plan", "improvement_histogram", "install_tpch_tables",
     "run_hashsort", "run_query_streams",
     "run_rangescan", "run_sqlio", "run_tpcc", "tpcds_query_specs",
-    "tpch_query_specs",
+    "tpch_order_lines_plan", "tpch_query_specs", "tpch_returnflag_agg_plan",
+    "tpch_star_join_plan",
 ]

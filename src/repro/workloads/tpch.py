@@ -34,6 +34,7 @@ from ..engine import (
     Schema,
     TableScan,
 )
+from ..plan import Agg, Aggregate, Join, PlanNode, Project, Scan, TopN
 from .analytics import QuerySpec
 
 __all__ = [
@@ -44,6 +45,9 @@ __all__ = [
     "generate_tpch_rows",
     "install_tpch_tables",
     "tpch_query_specs",
+    "tpch_star_join_plan",
+    "tpch_order_lines_plan",
+    "tpch_returnflag_agg_plan",
 ]
 
 CUSTOMER = Schema(
@@ -196,6 +200,75 @@ def install_tpch_tables(db: Database, rows: dict[str, list], scale: TpchScale) -
 def build_tpch_database(db: Database, scale: TpchScale = TpchScale(), seed: int = 0) -> dict:
     """Load the scaled TPC-H tables and DTA-recommended indexes."""
     return install_tpch_tables(db, generate_tpch_rows(scale, seed), scale)
+
+
+# ---------------------------------------------------------------------------
+# Canonical logical plans (repro.plan IR, lowered three ways by repro.dist)
+# ---------------------------------------------------------------------------
+
+
+def tpch_star_join_plan(top_n: int = 500, size_below: int = 25) -> PlanNode:
+    """Three-table star join: part |><| lineitem |><| supplier.
+
+    Left-deep: the first join is co-partitioned under the default TPC-H
+    partitioning (part and lineitem both hash on partkey), so its
+    shuffle self-ships; the second join key (suppkey) is *not* the
+    intermediate's partition key, so the intermediate result shuffles
+    to the supplier owners.  ``lineitem.linekey`` in the projection
+    makes full-tuple ordering total.
+    """
+    part = Scan("part", conditions=(("size", "<", size_below),))
+    first = Join(part, Scan("lineitem"), "part.partkey", "lineitem.partkey")
+    star = Join(first, Scan("supplier"), "lineitem.suppkey", "supplier.suppkey")
+    projected = Project(star, (
+        "lineitem.linekey", "part.partkey", "part.brand",
+        "supplier.suppkey", "supplier.nationkey", "lineitem.quantity",
+    ))
+    return TopN(projected, top_n)
+
+
+def tpch_order_lines_plan(top_n: int = 500, acctbal_below: float = 4000.0) -> PlanNode:
+    """Customer |><| orders |><| lineitem — a repartitioning join.
+
+    The second join runs on orderkey, which is neither the
+    customer-orders intermediate's partition key (custkey) nor
+    lineitem's (partkey), so *both* inputs shuffle on an ad-hoc hash
+    spec — the repartitioning case no co-located placement can serve.
+    """
+    customer = Scan("customer", conditions=(("acctbal", "<", acctbal_below),))
+    cust_orders = Join(customer, Scan("orders"), "customer.custkey", "orders.custkey")
+    lines = Join(cust_orders, Scan("lineitem"), "orders.orderkey", "lineitem.orderkey")
+    projected = Project(lines, (
+        "lineitem.linekey", "orders.orderkey", "customer.custkey",
+        "lineitem.quantity",
+    ))
+    return TopN(projected, top_n)
+
+
+def tpch_returnflag_agg_plan(ship_fraction: float = 0.6, top_n: int = 100) -> PlanNode:
+    """Q1-style group-by over lineitem, exact across lowerings.
+
+    Distributed placement turns the single Aggregate into a partial per
+    fragment plus a final merge after a gather.  Every aggregate here
+    is over *int* inputs (quantity), so partial merges are exact and
+    all three strategies return identical groups — float sums would be
+    order-sensitive (DESIGN.md §13).
+    """
+    lines = Scan(
+        "lineitem", conditions=(("shipdate", "<", int(DATE_SPAN * ship_fraction)),)
+    )
+    agg = Aggregate(
+        lines,
+        group_by=("lineitem.returnflag",),
+        aggs=(
+            Agg("count"),
+            Agg("sum", "quantity"),
+            Agg("min", "quantity"),
+            Agg("max", "quantity"),
+            Agg("avg", "quantity"),
+        ),
+    )
+    return TopN(agg, top_n)
 
 
 # ---------------------------------------------------------------------------

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.dist import (
+    TPCH_PARTITIONING,
     DistQuery,
     DistSpec,
     PartitionSpec,
@@ -12,7 +13,9 @@ from repro.dist import (
     compile_fragments,
     execute_query,
     load_tpch_single,
+    place_exchanges,
 )
+from repro.plan import Exchange, Join, walk
 from repro.workloads import TpchScale
 
 SMALL = TpchScale(orders=300, lines_per_order=2, customers=80, parts=60, suppliers=15)
@@ -76,17 +79,28 @@ class TestCompileErrors:
         with pytest.raises(ValueError, match="unpartitioned"):
             compile_fragments(CUST_ORDERS, setup)
 
-    def test_wrong_partition_key_rejected(self):
+    def test_mispartitioned_build_shuffles_left(self):
         # orders is hash-partitioned on orderkey, so a join that builds on
-        # orders.custkey cannot be co-located.
-        setup = build_strategy("query", SPEC, total_ext_pages=0, scale=SMALL, seed=3)
-        bad = DistQuery(
-            name="bad", build_table="orders", build_key="custkey",
+        # orders.custkey is not co-located.  The legacy planner rejected
+        # this; the IR planner notices the *probe* side (customer) is
+        # partitioned on the join key and shuffles the build side instead.
+        mis = DistQuery(
+            name="mis", build_table="orders", build_key="custkey",
             probe_table="customer", probe_key="custkey",
-            projection=(("probe", "custkey"),),
+            projection=(("build", "orderkey"), ("probe", "custkey")),
+            top_n=200,
         )
-        with pytest.raises(ValueError, match="partitioned on"):
-            compile_fragments(bad, setup)
+        placed = place_exchanges(mis.to_plan(), TPCH_PARTITIONING)
+        join = next(n for n in walk(placed) if isinstance(n, Join))
+        assert isinstance(join.left, Exchange) and join.left.kind == "shuffle"
+        assert not isinstance(join.right, Exchange)
+
+        setup = build_strategy("query", SPEC, total_ext_pages=0, scale=SMALL, seed=3)
+        result = execute_query(setup, mis)
+        page = build_strategy("page", SPEC, total_ext_pages=512, scale=SMALL, seed=3)
+        assert result.rows == execute_query(page, mis).rows
+        assert len(result.rows) > 0
+        assert result.metrics["exchange_rows"] > 0
 
     def test_custom_partitioning_satisfies_colocation(self):
         custom = {

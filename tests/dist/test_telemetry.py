@@ -55,6 +55,21 @@ class TestRegisterDist:
             assert name in setup.metrics
             assert setup.metrics.get(name).read() == 0.0
 
+    def test_total_gauges_are_live(self):
+        setup = build_strategy(Strategy.QUERY, SPEC, total_ext_pages=0,
+                               scale=SMALL, seed=6)
+        # Bind BEFORE anything is compiled: the fabric-wide totals read
+        # live over the stats dict, so exchanges declared by later
+        # compiles are still counted.
+        register_dist(setup.metrics, "dist", setup.runtime)
+        total_rows = setup.metrics.get("dist.exchange.total.rows")
+        assert total_rows.read() == 0.0
+        execute_query(setup, CUST_ORDERS)
+        expected = sum(stats.rows for stats in setup.runtime.stats.values())
+        assert expected > 0
+        assert total_rows.read() == float(expected)
+        assert setup.metrics.get("dist.exchange.total.bytes").read() > 0
+
     def test_gauges_track_execution(self):
         setup = build_strategy(Strategy.QUERY, SPEC, total_ext_pages=0,
                                scale=SMALL, seed=6)

@@ -1,0 +1,47 @@
+"""Shared fixtures for plan-IR tests: a minimal single-node database."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.engine import Database
+from repro.engine.files import DevicePageFile
+from repro.engine.tempdb import EXTENT_PAGES
+from repro.net import Network
+from repro.storage import GB, MB, Raid0Array, SsdDevice
+
+
+class PlanRig:
+    """One DB server with HDD + SSD; no remote memory needed here."""
+
+    def __init__(self):
+        self.cluster = Cluster(seed=11)
+        self.sim = self.cluster.sim
+        network = Network(self.sim)
+        self.db_server = self.cluster.add_server("db", memory_bytes=64 * GB)
+        network.attach(self.db_server)
+        self.hdd = self.db_server.attach_device(
+            "hdd",
+            Raid0Array(self.sim, spindles=8, rng=self.cluster.rng.stream("hdd")),
+        )
+        self.ssd = self.db_server.attach_device("ssd", SsdDevice(self.sim))
+        tempdb = DevicePageFile(
+            500, self.db_server, self.ssd, capacity_pages=EXTENT_PAGES * 512
+        )
+        self.database = Database(
+            self.db_server, bp_pages=4096, data_device=self.ssd,
+            log_device=self.hdd, tempdb_store=tempdb,
+            workspace_bytes=64 * MB,
+        )
+
+    def run(self, generator):
+        return self.sim.run_until_complete(self.sim.spawn(generator))
+
+    def execute(self, op):
+        return self.run(self.database.execute(
+            op, requested_memory_bytes=16 * MB, memory_consumers=2
+        ))
+
+
+@pytest.fixture
+def rig():
+    return PlanRig()

@@ -1,0 +1,182 @@
+"""Logical plan IR: bottom-up schemas, validation, explain rendering."""
+
+import pytest
+
+from repro.plan import (
+    Agg,
+    Aggregate,
+    Exchange,
+    Filter,
+    Join,
+    PlanError,
+    Project,
+    Scan,
+    TopN,
+    count_nodes,
+    explain,
+    output_schema,
+    walk,
+)
+from repro.workloads import TPCH_SCHEMAS
+
+
+def cust_orders_join():
+    return Join(
+        Scan("customer"), Scan("orders"),
+        "customer.custkey", "orders.custkey",
+    )
+
+
+class TestSchemaDerivation:
+    def test_scan_qualifies_every_column(self):
+        schema = output_schema(Scan("customer"), TPCH_SCHEMAS)
+        names = [f.name for f in schema]
+        assert names[0] == "customer.custkey"
+        assert all(name.startswith("customer.") for name in names)
+        assert len(schema) == len(TPCH_SCHEMAS["customer"].columns)
+
+    def test_join_concatenates_left_then_right(self):
+        schema = output_schema(cust_orders_join(), TPCH_SCHEMAS)
+        names = [f.name for f in schema]
+        n_cust = len(TPCH_SCHEMAS["customer"].columns)
+        assert names[:n_cust] == [
+            f"customer.{c.name}" for c in TPCH_SCHEMAS["customer"].columns
+        ]
+        assert names[n_cust] == "orders.orderkey"
+        # Same-named columns stay distinct through qualification.
+        assert schema.index_of("customer.custkey") != schema.index_of("orders.custkey")
+
+    def test_bare_reference_resolves_left_first(self):
+        schema = output_schema(cust_orders_join(), TPCH_SCHEMAS)
+        assert schema.index_of("custkey") == schema.index_of("customer.custkey")
+
+    def test_project_narrows_schema_and_row_bytes(self):
+        plan = Project(Scan("customer"), ("custkey", "acctbal"))
+        schema = output_schema(plan, TPCH_SCHEMAS)
+        assert [f.name for f in schema] == ["customer.custkey", "customer.acctbal"]
+        assert schema.row_bytes == 8 + 8 + 8  # two int/float cols + header
+        wide = output_schema(Scan("customer"), TPCH_SCHEMAS)
+        assert schema.row_bytes < wide.row_bytes
+
+    def test_aggregate_schema_group_cols_then_aggs(self):
+        plan = Aggregate(
+            Scan("lineitem"), group_by=("returnflag",),
+            aggs=(Agg("count"), Agg("sum", "quantity"), Agg("avg", "quantity")),
+        )
+        schema = output_schema(plan, TPCH_SCHEMAS)
+        assert [f.name for f in schema] == [
+            "lineitem.returnflag", "count", "sum_quantity", "avg_quantity",
+        ]
+        assert schema.field_of("avg_quantity").kind == "float"
+
+    def test_partial_aggregate_splits_avg_into_sum_and_count(self):
+        plan = Aggregate(
+            Scan("lineitem"), group_by=("returnflag",),
+            aggs=(Agg("avg", "quantity"), Agg("count")),
+            phase="partial",
+        )
+        schema = output_schema(plan, TPCH_SCHEMAS)
+        assert [f.name for f in schema] == [
+            "lineitem.returnflag", "avg_quantity.sum", "avg_quantity.count",
+            "count.partial",
+        ]
+
+    def test_final_aggregate_over_partial_restores_output_schema(self):
+        base = Aggregate(
+            Scan("lineitem"), group_by=("returnflag",),
+            aggs=(Agg("count"), Agg("avg", "quantity")),
+        )
+        partial = Aggregate(base.child, base.group_by, base.aggs, phase="partial")
+        final = Aggregate(partial, base.group_by, base.aggs, phase="final")
+        single = output_schema(base, TPCH_SCHEMAS)
+        assert [f.name for f in output_schema(final, TPCH_SCHEMAS)] == [
+            f.name for f in single
+        ]
+
+    def test_topn_and_exchange_pass_schema_through(self):
+        join = cust_orders_join()
+        for wrapper in (TopN(join, 10), Exchange(join, "gather")):
+            assert [f.name for f in output_schema(wrapper, TPCH_SCHEMAS)] == [
+                f.name for f in output_schema(join, TPCH_SCHEMAS)
+            ]
+
+
+class TestValidation:
+    def test_unknown_table_rejected(self):
+        with pytest.raises(PlanError, match="unknown table"):
+            output_schema(Scan("nation"), TPCH_SCHEMAS)
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(PlanError, match="no column"):
+            output_schema(Project(Scan("customer"), ("balance",)), TPCH_SCHEMAS)
+
+    def test_scan_condition_column_validated(self):
+        plan = Scan("customer", conditions=(("acctbal2", "<", 1.0),))
+        with pytest.raises(PlanError, match="no column"):
+            output_schema(plan, TPCH_SCHEMAS)
+
+    def test_join_keys_validated(self):
+        plan = Join(Scan("customer"), Scan("orders"), "customer.custkey", "orders.xkey")
+        with pytest.raises(PlanError, match="no column"):
+            output_schema(plan, TPCH_SCHEMAS)
+
+    def test_unknown_agg_fn_rejected(self):
+        with pytest.raises(PlanError, match="unknown aggregate fn"):
+            Agg("median", "quantity")
+
+    def test_agg_needs_column(self):
+        with pytest.raises(PlanError, match="needs a column"):
+            Agg("sum")
+
+    def test_aggregate_needs_group_by(self):
+        with pytest.raises(PlanError, match="group-by"):
+            Aggregate(Scan("lineitem"), group_by=())
+
+    def test_shuffle_exchange_needs_key(self):
+        with pytest.raises(PlanError, match="routing key"):
+            Exchange(Scan("orders"), "shuffle")
+
+    def test_unknown_exchange_kind_rejected(self):
+        with pytest.raises(PlanError, match="exchange kind"):
+            Exchange(Scan("orders"), "broadcast")
+
+
+class TestTreeUtilities:
+    def test_walk_is_preorder(self):
+        plan = TopN(Project(cust_orders_join(), ("custkey",)), 5)
+        kinds = [type(n).__name__ for n in walk(plan)]
+        assert kinds == ["TopN", "Project", "Join", "Scan", "Scan"]
+
+    def test_count_nodes(self):
+        plan = TopN(Project(cust_orders_join(), ("custkey",)), 5)
+        assert count_nodes(plan, Scan) == 2
+        assert count_nodes(plan, Join, TopN) == 2
+
+
+class TestExplain:
+    def test_explain_renders_every_node_with_schema(self):
+        plan = TopN(
+            Project(
+                Join(
+                    Filter(Scan("customer"), ("acctbal", "<", 100.0)),
+                    Scan("orders"),
+                    "customer.custkey", "orders.custkey",
+                ),
+                ("customer.custkey", "orders.orderkey"),
+            ),
+            25,
+        )
+        text = explain(plan, TPCH_SCHEMAS)
+        assert "TopN[25]" in text
+        assert "Filter[acctbal < 100.0]" in text
+        assert "Join[customer.custkey = orders.custkey]" in text
+        assert ":: (customer.custkey int, orders.orderkey int)" in text
+
+    def test_explain_shows_exchange_routing(self):
+        from repro.dist import TPCH_PARTITIONING, place_exchanges
+        from repro.workloads import tpch_star_join_plan
+
+        placed = place_exchanges(tpch_star_join_plan(), TPCH_PARTITIONING)
+        text = explain(placed, TPCH_SCHEMAS, show_schema=False)
+        assert "Exchange[gather -> root]" in text
+        assert "Exchange[shuffle by" in text
